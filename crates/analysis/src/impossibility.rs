@@ -1,0 +1,200 @@
+//! Theorem 1 / Corollary 3, executable: no algorithm solves
+//! process-terminating leader election for `U*` (hence none for `A`).
+//!
+//! The proof is constructive, so we can *run* it. Given any candidate
+//! algorithm `ALG` (every concrete algorithm must commit to its code — for
+//! `Ak`/`Bk` that includes some fixed parameter `k0`):
+//!
+//! 1. run `ALG` synchronously on a `K1` ring `Rn`; it terminates in `T`
+//!    steps (if `ALG` is at least correct on `K1`);
+//! 2. pick `k` with `1 + (k−2)n > T` — i.e. `k = ⌈(T−1)/n⌉ + 3` is ample;
+//! 3. build `R_{n,k} ∈ U* ∩ Kk ⊆ U*` and run `ALG` on it;
+//! 4. by indistinguishability, two replicas of the step-`T` leader declare
+//!    themselves — a specification violation, which we capture live.
+//!
+//! [`demonstrate_impossibility`] performs the four steps and returns the
+//! full certificate.
+
+use hre_ring::{generate, RingLabeling};
+use hre_sim::{
+    run_with_observer, ActionEvent, Algorithm, Network, Observer, ProcessBehavior, RunOptions,
+    SpecViolation, SyncSched,
+};
+
+/// Evidence that a candidate `U*` algorithm failed, with every ingredient
+/// of the Theorem 1 construction.
+#[derive(Clone, Debug)]
+pub struct ImpossibilityCertificate {
+    /// The `K1` base ring `Rn`.
+    pub base: RingLabeling,
+    /// Steps of the synchronous execution on `Rn`.
+    pub t_steps: u64,
+    /// The replication factor chosen so that `1 + (k−2)n > T`.
+    pub k: usize,
+    /// The constructed ring `R_{n,k}` on which the algorithm fails.
+    pub big: RingLabeling,
+    /// First synchronous step of the big run at which two or more
+    /// processes simultaneously claimed leadership (None if the failure
+    /// manifested as another violation).
+    pub two_leaders_step: Option<u64>,
+    /// The process indices claiming leadership at that step.
+    pub leaders: Vec<usize>,
+    /// All specification violations observed on `R_{n,k}`.
+    pub violations: Vec<SpecViolation>,
+}
+
+impl ImpossibilityCertificate {
+    /// Whether the construction succeeded in exhibiting a violation.
+    pub fn refutes(&self) -> bool {
+        !self.violations.is_empty()
+    }
+}
+
+struct LeaderWatch {
+    first_multi: Option<(u64, Vec<usize>)>,
+}
+
+impl<P: ProcessBehavior> Observer<P> for LeaderWatch {
+    fn after_event(&mut self, net: &Network<P>, event: &ActionEvent<P::Msg>) {
+        if self.first_multi.is_some() {
+            return;
+        }
+        let leaders: Vec<usize> =
+            (0..net.n()).filter(|&i| net.election(i).is_leader).collect();
+        if leaders.len() >= 2 {
+            self.first_multi = Some((event.step, leaders));
+        }
+    }
+}
+
+/// Runs the Theorem 1 construction against `algo`.
+///
+/// ```
+/// use hre_analysis::demonstrate_impossibility;
+/// use hre_core::Ak;
+/// use hre_ring::RingLabeling;
+///
+/// let base = RingLabeling::from_raw(&[4, 1, 3]); // any K1 ring
+/// let cert = demonstrate_impossibility(&Ak::new(2), &base);
+/// assert!(cert.refutes());                    // two replicas claimed leadership
+/// assert!(cert.two_leaders_step.is_some());
+/// assert!(cert.big.in_ustar());               // … on a ring of U*
+/// ```
+///
+/// `algo` plays the role of the hypothetical leader-election algorithm for
+/// `U*`. `base` must be a `K1` ring (on which any credible candidate
+/// terminates). The run on `R_{n,k}` is action-capped: a candidate that
+/// never terminates on `R_{n,k}` *also* violates the (process-terminating)
+/// specification, and the certificate records that instead.
+pub fn demonstrate_impossibility<A: Algorithm>(
+    algo: &A,
+    base: &RingLabeling,
+) -> ImpossibilityCertificate {
+    assert!(base.all_distinct(), "the construction starts from a K1 ring");
+    let n = base.n();
+
+    // Step 1: synchronous execution on the base ring.
+    let base_rep = run_with_observer(
+        algo,
+        base,
+        &mut SyncSched,
+        RunOptions::default(),
+        &mut LeaderWatch { first_multi: None },
+    );
+    assert!(
+        base_rep.clean(),
+        "the candidate must at least solve K1 for the construction to apply"
+    );
+    let t = base_rep.metrics.steps;
+
+    // Step 2: choose k with 1 + (k-2)n > T.
+    let k = (t as usize).div_ceil(n) + 3;
+
+    // Step 3: the replicated ring.
+    let big = generate::lemma1_ring(base, k);
+
+    // Step 4: run and watch for the predicted double election.
+    let mut watch = LeaderWatch { first_multi: None };
+    let big_rep = run_with_observer(
+        algo,
+        &big,
+        &mut SyncSched,
+        // The violation appears within ~T synchronous steps (the replicas
+        // mirror the base run); stop right there instead of simulating the
+        // broken aftermath.
+        RunOptions { stop_on_violation: true, ..Default::default() },
+        &mut watch,
+    );
+
+    let (two_leaders_step, leaders) = match watch.first_multi {
+        Some((step, l)) => (Some(step), l),
+        None => (None, Vec::new()),
+    };
+
+    ImpossibilityCertificate {
+        base: base.clone(),
+        t_steps: t,
+        k,
+        big,
+        two_leaders_step,
+        leaders,
+        violations: big_rep.violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hre_core::{Ak, Bk};
+    use hre_ring::generate::random_k1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ak_cannot_solve_ustar() {
+        // Ak with any fixed k0 is a candidate U* algorithm; the
+        // construction must defeat it.
+        let mut rng = StdRng::seed_from_u64(4);
+        let base = random_k1(4, &mut rng);
+        for k0 in 1..=2usize {
+            let cert = demonstrate_impossibility(&Ak::new(k0), &base);
+            assert!(cert.refutes(), "k0={k0}: {cert:?}");
+            assert!(
+                cert.two_leaders_step.is_some(),
+                "the predicted double election should be observed: {cert:?}"
+            );
+            assert!(cert.leaders.len() >= 2);
+            // The chosen k really satisfies 1 + (k-2)n > T.
+            let n = cert.base.n() as u64;
+            assert!(1 + (cert.k as u64 - 2) * n > cert.t_steps);
+            // And the two leaders are replicas: same position mod n.
+            let l0 = cert.leaders[0] % cert.base.n();
+            assert!(cert.leaders.iter().all(|l| l % cert.base.n() == l0));
+        }
+    }
+
+    #[test]
+    fn bk_cannot_solve_ustar() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let base = random_k1(3, &mut rng);
+        let cert = demonstrate_impossibility(&Bk::new(2), &base);
+        assert!(cert.refutes(), "{cert:?}");
+        assert!(cert.two_leaders_step.is_some());
+    }
+
+    #[test]
+    fn certificate_construction_is_well_formed() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let base = random_k1(3, &mut rng);
+        let cert = demonstrate_impossibility(&Ak::new(1), &base);
+        assert_eq!(cert.big.n(), cert.k * cert.base.n() + 1);
+        assert!(cert.big.in_ustar());
+        assert!(cert.big.in_kk(cert.k));
+    }
+
+    #[test]
+    #[should_panic(expected = "K1")]
+    fn rejects_homonym_base() {
+        demonstrate_impossibility(&Ak::new(2), &RingLabeling::from_raw(&[1, 1, 2]));
+    }
+}

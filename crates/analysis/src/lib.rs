@@ -1,0 +1,41 @@
+//! # hre-analysis — the paper's theory, executable
+//!
+//! Where `hre-core` implements the paper's algorithms, this crate
+//! operationalizes its *proofs and figures*:
+//!
+//! * [`lower_bound`] — Lemma 1 / Corollaries 2 and 4: synchronous step
+//!   counting on `K1` rings, the replicated-ring construction `R_{n,k}`,
+//!   and the `1 + (k−2)n` step bound;
+//! * [`impossibility`] — Theorem 1 / Corollary 3: an executable adversary
+//!   that takes a candidate "algorithm for `U*`" and produces a concrete
+//!   ring on which it violates the specification (two simultaneous
+//!   leaders);
+//! * [`phases`] — reconstruction of `Bk`'s phase structure from a run
+//!   (Appendix A numbering), used to regenerate **Figure 1**;
+//! * [`state_diagram`] — conformance checking of observed `Bk` transitions
+//!   against the **Figure 2** state diagram;
+//! * [`tradeoff`] — the `Ak` vs `Bk` time/space trade-off sweeps behind the
+//!   abstract's headline claim;
+//! * [`table`] — plain-text table rendering for the experiment binaries;
+//! * [`render`] / [`spacetime`] — plain-text views of rings, phases, and
+//!   executions (event logs, activity grids) for the CLI and debugging.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod impossibility;
+pub mod lower_bound;
+pub mod phases;
+pub mod render;
+pub mod spacetime;
+pub mod svg;
+pub mod state_diagram;
+pub mod table;
+pub mod tradeoff;
+
+pub use impossibility::{demonstrate_impossibility, ImpossibilityCertificate};
+pub use lower_bound::{lower_bound_sweep, sync_steps, LowerBoundRow};
+pub use phases::{reconstruct_phases, PhaseRecord, PhaseTable};
+pub use state_diagram::{check_figure2_conformance, DiagramReport, ALLOWED_TRANSITIONS};
+pub use table::Table;
+pub use tradeoff::{tradeoff_sweep, TradeoffRow};

@@ -1,0 +1,184 @@
+//! Lemma 1 and Corollaries 2/4, executable.
+//!
+//! **Lemma 1.** If `ALG` solves leader election for `U* ∩ Kk` (`k ≥ 2`),
+//! then on every ring of `K1` its *synchronous* execution takes at least
+//! `1 + (k−2)n` steps.
+//!
+//! The proof replicates a `K1` ring `k` times plus one fresh label
+//! (`R_{n,k}`, built by [`hre_ring::generate::lemma1_ring`]); for the first
+//! `j` steps, process `q(j)` of the big ring is indistinguishable from
+//! `p(j mod n)` of the base ring (information from the fresh label has not
+//! reached it yet). A too-fast algorithm would therefore crown two
+//! replicas simultaneously.
+//!
+//! This module measures synchronous step counts and checks them against
+//! the bound — empirically confirming that `Ak` (time `Θ(kn)`) is
+//! asymptotically optimal, the paper's Corollary 2 story.
+
+use hre_ring::{generate, RingLabeling};
+use hre_sim::{run, Algorithm, ProcessBehavior, RunOptions, RunReport, SyncSched};
+
+/// Runs `algo` on `ring` under the synchronous scheduler and returns the
+/// step count together with the full report.
+pub fn sync_steps<A: Algorithm>(
+    algo: &A,
+    ring: &RingLabeling,
+) -> (u64, RunReport<<A::Proc as ProcessBehavior>::Msg>) {
+    let rep = run(algo, ring, &mut SyncSched, RunOptions::default());
+    (rep.metrics.steps, rep)
+}
+
+/// One row of the lower-bound experiment (E1).
+#[derive(Clone, Debug)]
+pub struct LowerBoundRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Ring size of the `K1` base ring.
+    pub n: usize,
+    /// Multiplicity bound the algorithm was parameterized with.
+    pub k: usize,
+    /// Lemma 1's bound: `1 + (k−2)n`.
+    pub bound: u64,
+    /// Measured synchronous steps on the base ring.
+    pub measured_steps: u64,
+    /// Whether the measured count respects the bound.
+    pub respects_bound: bool,
+    /// Whether the run was specification-clean.
+    pub clean: bool,
+}
+
+/// Runs the Lemma 1 measurement for one algorithm and one `K1` ring.
+///
+/// The algorithm must be a leader-election algorithm for `U* ∩ Kk` (both
+/// `Ak` and `Bk` are, since `U* ∩ Kk ⊆ A ∩ Kk`).
+pub fn lower_bound_row<A: Algorithm>(
+    algo: &A,
+    base: &RingLabeling,
+    k: usize,
+) -> LowerBoundRow {
+    assert!(base.all_distinct(), "Lemma 1 measures K1 rings");
+    let (steps, rep) = sync_steps(algo, base);
+    let n = base.n() as u64;
+    let bound = if k >= 2 { 1 + (k as u64 - 2) * n } else { 1 };
+    LowerBoundRow {
+        algorithm: algo.name(),
+        n: base.n(),
+        k,
+        bound,
+        measured_steps: steps,
+        respects_bound: steps >= bound,
+        clean: rep.clean(),
+    }
+}
+
+/// Sweeps `n × k` over `K1` rings with a seeded generator; returns one row
+/// per combination for each of `Ak` and `Bk`.
+pub fn lower_bound_sweep(
+    ns: &[usize],
+    ks: &[usize],
+    seed: u64,
+) -> Vec<LowerBoundRow> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for &n in ns {
+        let base = generate::random_k1(n, &mut rng);
+        for &k in ks {
+            rows.push(lower_bound_row(&hre_core::Ak::new(k), &base, k));
+            if k >= 2 {
+                rows.push(lower_bound_row(&hre_core::Bk::new(k), &base, k));
+            }
+        }
+    }
+    rows
+}
+
+/// Verifies the proof's indistinguishability property (*) on the `R_{n,k}`
+/// construction for `Ak`: after `t ≤ j` synchronous steps, replica `q(j)`
+/// has received exactly the same message stream as `p(j mod n)` — checked
+/// via recorded traces. Returns the number of (process, prefix) pairs
+/// checked.
+pub fn verify_replication_property(base: &RingLabeling, k: usize) -> usize {
+    assert!(base.all_distinct());
+    let n = base.n();
+    let big = generate::lemma1_ring(base, k);
+    let algo = hre_core::Ak::new(k);
+    let opts = RunOptions { record_trace: true, ..Default::default() };
+    let base_rep = run(&algo, base, &mut SyncSched, opts);
+    let big_rep = run(&algo, &big, &mut SyncSched, opts);
+    let base_trace = base_rep.trace.expect("trace requested");
+    let big_trace = big_rep.trace.expect("trace requested");
+
+    let mut checked = 0;
+    for j in 0..big.n() - 1 {
+        // Events of q(j) within its first j steps, vs p(j mod n).
+        let q_stream: Vec<_> = big_trace
+            .by_process(j)
+            .filter(|e| e.step <= j as u64)
+            .map(|e| format!("{:?}", e.kind))
+            .collect();
+        let p_stream: Vec<_> = base_trace
+            .by_process(j % n)
+            .filter(|e| e.step <= j as u64)
+            .map(|e| format!("{:?}", e.kind))
+            .collect();
+        // The base run may have terminated before step j; property (*)
+        // applies to the common prefix.
+        let len = q_stream.len().min(p_stream.len());
+        assert_eq!(
+            &q_stream[..len],
+            &p_stream[..len],
+            "property (*) violated at q({j})"
+        );
+        checked += len;
+    }
+    checked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hre_core::{Ak, Bk};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ak_and_bk_respect_lemma1_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [3usize, 5, 8] {
+            let base = generate::random_k1(n, &mut rng);
+            for k in 2..=4usize {
+                let row_a = lower_bound_row(&Ak::new(k), &base, k);
+                assert!(row_a.clean, "{row_a:?}");
+                assert!(row_a.respects_bound, "{row_a:?}");
+                let row_b = lower_bound_row(&Bk::new(k), &base, k);
+                assert!(row_b.clean, "{row_b:?}");
+                assert!(row_b.respects_bound, "{row_b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_produces_rows_for_both_algorithms() {
+        let rows = lower_bound_sweep(&[3, 4], &[2, 3], 99);
+        assert_eq!(rows.len(), 2 * 2 * 2);
+        assert!(rows.iter().all(|r| r.clean && r.respects_bound));
+        assert!(rows.iter().any(|r| r.algorithm.starts_with("Ak")));
+        assert!(rows.iter().any(|r| r.algorithm.starts_with("Bk")));
+    }
+
+    #[test]
+    fn replication_property_holds() {
+        let base = RingLabeling::from_raw(&[2, 5, 3]);
+        let checked = verify_replication_property(&base, 3);
+        assert!(checked > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "K1")]
+    fn rejects_non_k1_base() {
+        let ring = RingLabeling::from_raw(&[1, 1, 2]);
+        lower_bound_row(&Ak::new(2), &ring, 2);
+    }
+}

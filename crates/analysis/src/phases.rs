@@ -1,0 +1,269 @@
+//! Reconstruction of `Bk`'s phase structure — regenerating **Figure 1**.
+//!
+//! Figure 1 of the paper walks `Bk` (`k = 3`) through the ring
+//! `(1,3,1,3,2,2,1,2)`, showing for each phase which processes are still
+//! active (white) and each process's guest label (gray). This module
+//! replays any `Bk` run with an observer and extracts exactly that data,
+//! using the phase numbering of Appendix A (a process enters phase `i+1`
+//! when it assigns `guest` upon a `⟨PHASE SHIFT⟩`).
+
+use hre_core::{Bk, BkProc};
+use hre_ring::RingLabeling;
+use hre_sim::{
+    run_with_observer, ActionEvent, EventKind, Network, Observer, RoundRobinSched, RunOptions,
+};
+use hre_words::Label;
+
+/// What one process did in one phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseRecord {
+    /// The guest label the process held during this phase.
+    pub guest: Label,
+    /// Whether the process was active (competing) at the *start* of the
+    /// phase — "white" in Figure 1.
+    pub active_at_start: bool,
+}
+
+/// Per-phase, per-process reconstruction of a `Bk` execution.
+#[derive(Clone, Debug)]
+pub struct PhaseTable {
+    /// `records[i][p]` = what process `p` did in phase `i+1`; `None` if the
+    /// process never entered that phase (the run ended first).
+    pub records: Vec<Vec<Option<PhaseRecord>>>,
+    /// The elected leader.
+    pub leader: usize,
+    /// Total phases entered by the leader (`X` in the paper).
+    pub leader_phases: u64,
+    /// Messages received while the receiver was in phase `i+1` — the
+    /// proof of Theorem 4 claims `O(kn²)` for phase 1 and `O(kn)` for
+    /// every later phase.
+    pub messages_per_phase: Vec<u64>,
+}
+
+impl PhaseTable {
+    /// Number of reconstructed phases.
+    pub fn phases(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The indices active at the start of phase `i` (1-based).
+    pub fn active_set(&self, phase: usize) -> Vec<usize> {
+        self.records[phase - 1]
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.as_ref().is_some_and(|r| r.active_at_start))
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// The guest of process `p` during phase `i` (1-based), if entered.
+    pub fn guest(&self, phase: usize, p: usize) -> Option<Label> {
+        self.records[phase - 1][p].as_ref().map(|r| r.guest)
+    }
+}
+
+struct PhaseWatch {
+    n: usize,
+    /// Last phase number seen per process, to detect transitions.
+    last_phase: Vec<u64>,
+    /// records[phase-1][pid]
+    records: Vec<Vec<Option<PhaseRecord>>>,
+    /// receive events charged to the receiver's phase at reception time
+    messages_per_phase: Vec<u64>,
+}
+
+impl PhaseWatch {
+    fn note(&mut self, net: &Network<BkProc>, pid: usize, received: bool) {
+        let proc = net.process(pid);
+        let phase = proc.phase();
+        if phase == 0 {
+            return;
+        }
+        let idx = (phase - 1) as usize;
+        if received {
+            while self.messages_per_phase.len() <= idx {
+                self.messages_per_phase.push(0);
+            }
+            self.messages_per_phase[idx] += 1;
+        }
+        if phase == self.last_phase[pid] {
+            return;
+        }
+        self.last_phase[pid] = phase;
+        while self.records.len() <= idx {
+            self.records.push(vec![None; self.n]);
+        }
+        self.records[idx][pid] = Some(PhaseRecord {
+            guest: proc.guest(),
+            active_at_start: proc.is_active(),
+        });
+    }
+}
+
+impl Observer<BkProc> for PhaseWatch {
+    fn after_event(&mut self, net: &Network<BkProc>, event: &ActionEvent<<BkProc as hre_sim::ProcessBehavior>::Msg>) {
+        let received = matches!(event.kind, EventKind::Receive(_));
+        self.note(net, event.pid, received);
+    }
+}
+
+/// Runs `Bk(k)` on `ring` and reconstructs its phase table.
+///
+/// ```
+/// use hre_analysis::reconstruct_phases;
+/// use hre_ring::catalog;
+///
+/// let table = reconstruct_phases(&catalog::figure1_ring(), 3);
+/// assert_eq!(table.leader, 0);
+/// assert_eq!(table.leader_phases, 9);                 // X = 9
+/// assert_eq!(table.active_set(2), vec![0, 2, 6]);     // Fig. 1b's white nodes
+/// ```
+///
+/// Panics if the run is not specification-clean (the ring must be in
+/// `A ∩ Kk`).
+pub fn reconstruct_phases(ring: &RingLabeling, k: usize) -> PhaseTable {
+    let algo = Bk::new(k);
+    let mut watch = PhaseWatch {
+        n: ring.n(),
+        last_phase: vec![0; ring.n()],
+        records: Vec::new(),
+        messages_per_phase: Vec::new(),
+    };
+    let rep = run_with_observer(
+        &algo,
+        ring,
+        &mut RoundRobinSched::default(),
+        RunOptions::default(),
+        &mut watch,
+    );
+    assert!(rep.clean(), "phase reconstruction requires a clean run: {:?}", rep.violations);
+    let leader = rep.leader.expect("clean run has a leader");
+    PhaseTable {
+        records: watch.records,
+        leader,
+        leader_phases: watch.last_phase[leader],
+        messages_per_phase: watch.messages_per_phase,
+    }
+}
+
+/// The paper's **Figure 1** expected data for phases 1–4 on the ring
+/// `(1,3,1,3,2,2,1,2)` with `k = 3`: `(active set, guests)` per phase.
+/// Guests are given for every process (Figure 1 shows them in gray).
+pub fn figure1_expected() -> Vec<(Vec<usize>, Vec<u64>)> {
+    vec![
+        // Phase 1 (Fig. 1a): everyone active, guest = own label.
+        (vec![0, 1, 2, 3, 4, 5, 6, 7], vec![1, 3, 1, 3, 2, 2, 1, 2]),
+        // Phase 2 (Fig. 1b): survivors = label-1 processes; guests shifted
+        // one step clockwise: guest(p) = label(p-1).
+        (vec![0, 2, 6], vec![2, 1, 3, 1, 3, 2, 2, 1]),
+        // Phase 3 (Fig. 1c): survivors p0 and p6 (p2's guest 3 lost to 2).
+        (vec![0, 6], vec![1, 2, 1, 3, 1, 3, 2, 2]),
+        // Phase 4 (Fig. 1d): p0 alone (p6's guest 2 lost to p0's 1).
+        (vec![0], vec![2, 1, 2, 1, 3, 1, 3, 2]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hre_ring::catalog;
+
+    #[test]
+    fn figure1_phases_match_paper() {
+        let ring = catalog::figure1_ring();
+        let table = reconstruct_phases(&ring, catalog::FIGURE1_K);
+        assert_eq!(table.leader, catalog::FIGURE1_LEADER);
+        let expected = figure1_expected();
+        assert!(table.phases() >= expected.len());
+        for (i, (active, guests)) in expected.iter().enumerate() {
+            let phase = i + 1;
+            assert_eq!(&table.active_set(phase), active, "phase {phase} active set");
+            for (p, &g) in guests.iter().enumerate() {
+                // Every process that entered this phase must hold the
+                // figure's guest; processes that never entered it (the run
+                // ended) are exempt — but for phases 1..4 all enter.
+                assert_eq!(
+                    table.guest(phase, p),
+                    Some(Label::new(g)),
+                    "phase {phase}, process {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn guests_track_llabels_for_active_processes() {
+        // The algorithm's invariant (Lemma 8): in phase i, an active
+        // process p holds guest = LLabels(p)[i].
+        let ring = catalog::figure1_ring();
+        let table = reconstruct_phases(&ring, 3);
+        for phase in 1..=table.phases() {
+            for p in table.active_set(phase) {
+                let expect = ring.llabels(p, phase)[phase - 1];
+                assert_eq!(table.guest(phase, p), Some(expect), "phase {phase} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn leader_enters_exactly_x_phases() {
+        // X = min{x : LLabels(L)_x contains L.id (k+1) times} = 9 for the
+        // Figure 1 ring (label 1 at positions 1,3,7,9).
+        let ring = catalog::figure1_ring();
+        let table = reconstruct_phases(&ring, 3);
+        assert_eq!(table.leader_phases, 9);
+    }
+
+    #[test]
+    fn active_sets_shrink_to_leader() {
+        let ring = catalog::figure1_ring();
+        let table = reconstruct_phases(&ring, 3);
+        let mut prev = usize::MAX;
+        for phase in 1..=table.phases() {
+            let a = table.active_set(phase).len();
+            assert!(a <= prev, "actives cannot grow (phase {phase})");
+            prev = a;
+        }
+        assert_eq!(table.active_set(table.phases()), vec![table.leader]);
+    }
+
+    #[test]
+    fn per_phase_message_counts_follow_theorem4_proof() {
+        // Proof of Theorem 4: phase 1 exchanges O(kn²) messages, each later
+        // phase O(kn). Check with explicit constants on several rings.
+        use hre_ring::generate::random_exact_multiplicity;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(n, k) in &[(8usize, 2usize), (12, 3), (16, 4)] {
+            let ring = random_exact_multiplicity(n, k, &mut rng);
+            let table = reconstruct_phases(&ring, k);
+            let (n64, k64) = (n as u64, k as u64);
+            assert!(
+                table.messages_per_phase[0] <= 2 * (k64 + 1) * n64 * n64,
+                "phase 1: {} messages on {ring:?}",
+                table.messages_per_phase[0]
+            );
+            for (i, &m) in table.messages_per_phase.iter().enumerate().skip(1) {
+                assert!(
+                    m <= 4 * (k64 + 1) * n64,
+                    "phase {}: {} messages on {ring:?}",
+                    i + 1,
+                    m
+                );
+            }
+            // conservation: phase charges sum to total receives
+            let total: u64 = table.messages_per_phase.iter().sum();
+            assert!(total > 0);
+        }
+    }
+
+    #[test]
+    fn ring_122_has_three_phase_x() {
+        // LLabels(p0) for (1,2,2) = 1,2,2 ; occurrences of label 1 at
+        // positions 1,4,7 → with k = 2, X = 7.
+        let table = reconstruct_phases(&catalog::ring_122(), 2);
+        assert_eq!(table.leader, 0);
+        assert_eq!(table.leader_phases, 7);
+    }
+}

@@ -1,0 +1,60 @@
+//! Plain-text rendering of rings and executions for the CLI and examples.
+
+use hre_ring::RingLabeling;
+use hre_words::Label;
+
+/// Renders the ring on one line in message-flow order, marking a process
+/// (typically the leader) with a star:
+/// `p0[1]* → p1[3] → … → p7[2] ⟲`.
+pub fn render_ring(ring: &RingLabeling, star: Option<usize>) -> String {
+    let mut parts = Vec::with_capacity(ring.n());
+    for i in 0..ring.n() {
+        let mark = if star == Some(i) { "*" } else { "" };
+        parts.push(format!("p{i}[{}]{mark}", ring.label(i)));
+    }
+    format!("{} ⟲", parts.join(" → "))
+}
+
+/// Renders one Figure 1-style phase line: active processes uppercase with
+/// `●`, passive ones with `○`, each with its guest label:
+/// `●p0(g=2) ○p1(g=1) …`.
+pub fn render_phase(
+    guests: &[Option<Label>],
+    active: &[usize],
+) -> String {
+    guests
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            let dot = if active.contains(&i) { "●" } else { "○" };
+            match g {
+                Some(g) => format!("{dot}p{i}(g={g})"),
+                None => format!("{dot}p{i}(—)"),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_rendering_marks_the_star() {
+        let ring = RingLabeling::from_raw(&[1, 2, 2]);
+        let s = render_ring(&ring, Some(0));
+        assert_eq!(s, "p0[1]* → p1[2] → p2[2] ⟲");
+        let s = render_ring(&ring, None);
+        assert!(!s.contains('*'));
+    }
+
+    #[test]
+    fn phase_rendering_distinguishes_active() {
+        let guests = vec![Some(Label::new(2)), Some(Label::new(1)), None];
+        let s = render_phase(&guests, &[0]);
+        assert!(s.contains("●p0(g=2)"));
+        assert!(s.contains("○p1(g=1)"));
+        assert!(s.contains("○p2(—)"));
+    }
+}

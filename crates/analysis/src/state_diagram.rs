@@ -1,0 +1,174 @@
+//! Conformance checking against **Figure 2** — `Bk`'s state diagram.
+//!
+//! Figure 2 allows exactly these transitions:
+//!
+//! ```text
+//! INIT    --B1-->  COMPUTE
+//! COMPUTE --B2,B3--> COMPUTE      COMPUTE --B4--> PASSIVE
+//! COMPUTE --B5-->  SHIFT          SHIFT   --B6--> COMPUTE
+//! SHIFT   --B9-->  WIN            PASSIVE --B7,B8--> PASSIVE
+//! PASSIVE --B10--> HALT           WIN     --B11--> HALT
+//! ```
+//!
+//! We record every `(state-before, action, state-after)` triple observed
+//! across runs and assert the set is a subset of the diagram's edges, then
+//! report the transition counts — an executable version of the figure.
+
+use hre_core::{Bk, BkAction, BkProc, BkState};
+use hre_ring::RingLabeling;
+use hre_sim::{
+    run_with_observer, ActionEvent, Network, Observer, RunOptions, Scheduler,
+};
+use std::collections::BTreeMap;
+
+/// The edges of Figure 2: `(from, action, to)`.
+pub const ALLOWED_TRANSITIONS: &[(BkState, BkAction, BkState)] = &[
+    (BkState::Init, BkAction::B1, BkState::Compute),
+    (BkState::Compute, BkAction::B2, BkState::Compute),
+    (BkState::Compute, BkAction::B3, BkState::Compute),
+    (BkState::Compute, BkAction::B4, BkState::Passive),
+    (BkState::Compute, BkAction::B5, BkState::Shift),
+    (BkState::Shift, BkAction::B6, BkState::Compute),
+    (BkState::Shift, BkAction::B9, BkState::Win),
+    (BkState::Passive, BkAction::B7, BkState::Passive),
+    (BkState::Passive, BkAction::B8, BkState::Passive),
+    (BkState::Passive, BkAction::B10, BkState::Halt),
+    (BkState::Win, BkAction::B11, BkState::Halt),
+];
+
+/// Observed-transition report for one or more runs.
+#[derive(Clone, Debug, Default)]
+pub struct DiagramReport {
+    /// Count per observed `(from, action, to)` triple.
+    pub counts: BTreeMap<(String, String, String), u64>,
+    /// Transitions observed that Figure 2 does not allow (empty for a
+    /// faithful implementation).
+    pub violations: Vec<(BkState, BkAction, BkState)>,
+}
+
+impl DiagramReport {
+    /// Whether every observed transition is allowed by the figure.
+    pub fn conforms(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Number of distinct edges exercised.
+    pub fn distinct_edges(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: DiagramReport) {
+        for (k, v) in other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+        self.violations.extend(other.violations);
+    }
+}
+
+struct DiagramWatch {
+    prev_state: Vec<BkState>,
+    report: DiagramReport,
+}
+
+impl Observer<BkProc> for DiagramWatch {
+    fn after_event(
+        &mut self,
+        net: &Network<BkProc>,
+        event: &ActionEvent<<BkProc as hre_sim::ProcessBehavior>::Msg>,
+    ) {
+        let pid = event.pid;
+        let proc = net.process(pid);
+        let from = self.prev_state[pid];
+        let to = proc.state();
+        self.prev_state[pid] = to;
+        let Some(action) = proc.last_action() else { return };
+        let allowed = ALLOWED_TRANSITIONS.iter().any(|&(f, a, t)| f == from && a == action && t == to);
+        if !allowed {
+            self.report.violations.push((from, action, to));
+        }
+        *self
+            .report
+            .counts
+            .entry((format!("{from:?}"), action.name().to_string(), format!("{to:?}")))
+            .or_insert(0) += 1;
+    }
+}
+
+/// Runs `Bk(k)` on `ring` under `sched` and returns the observed-transition
+/// report. The run itself must be clean (panics otherwise).
+pub fn check_figure2_conformance<S: Scheduler>(
+    ring: &RingLabeling,
+    k: usize,
+    sched: &mut S,
+) -> DiagramReport {
+    let algo = Bk::new(k);
+    let mut watch = DiagramWatch {
+        prev_state: vec![BkState::Init; ring.n()],
+        report: DiagramReport::default(),
+    };
+    let rep = run_with_observer(&algo, ring, sched, RunOptions::default(), &mut watch);
+    assert!(rep.clean(), "conformance checking requires a clean run: {:?}", rep.violations);
+    watch.report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hre_ring::{catalog, enumerate};
+    use hre_sim::{RandomSched, RoundRobinSched, SyncSched};
+
+    #[test]
+    fn figure1_run_conforms_and_exercises_most_edges() {
+        let ring = catalog::figure1_ring();
+        let mut report = DiagramReport::default();
+        report.merge(check_figure2_conformance(&ring, 3, &mut RoundRobinSched::default()));
+        report.merge(check_figure2_conformance(&ring, 3, &mut SyncSched));
+        for seed in 0..10 {
+            report.merge(check_figure2_conformance(&ring, 3, &mut RandomSched::new(seed)));
+        }
+        assert!(report.conforms(), "{:?}", report.violations);
+        // Every edge of Figure 2 is exercised on this ring.
+        assert_eq!(report.distinct_edges(), ALLOWED_TRANSITIONS.len());
+    }
+
+    #[test]
+    fn every_small_ring_conforms() {
+        for n in 2..=4usize {
+            for ring in enumerate::asymmetric_labelings(n, 3) {
+                let k = ring.max_multiplicity().max(2);
+                let report =
+                    check_figure2_conformance(&ring, k, &mut RoundRobinSched::default());
+                assert!(report.conforms(), "{ring:?} {:?}", report.violations);
+            }
+        }
+    }
+
+    #[test]
+    fn b9_fires_exactly_once_per_run() {
+        let ring = catalog::figure1_ring();
+        let report = check_figure2_conformance(&ring, 3, &mut RoundRobinSched::default());
+        let b9: u64 = report
+            .counts
+            .iter()
+            .filter(|((_, a, _), _)| a == "B9")
+            .map(|(_, c)| *c)
+            .sum();
+        assert_eq!(b9, 1);
+        let b11: u64 = report
+            .counts
+            .iter()
+            .filter(|((_, a, _), _)| a == "B11")
+            .map(|(_, c)| *c)
+            .sum();
+        assert_eq!(b11, 1);
+        // B10 fires once per non-leader.
+        let b10: u64 = report
+            .counts
+            .iter()
+            .filter(|((_, a, _), _)| a == "B10")
+            .map(|(_, c)| *c)
+            .sum();
+        assert_eq!(b10, (ring.n() - 1) as u64);
+    }
+}

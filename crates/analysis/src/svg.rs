@@ -1,0 +1,173 @@
+//! Hand-rolled SVG rendering of ring executions — regenerating the
+//! paper's **Figure 1** as an actual vector figure (no dependencies; the
+//! output is a plain string the caller writes to a `.svg` file).
+//!
+//! The visual language matches the paper: processes on a circle, arrows in
+//! message-flow direction, white fill for processes *active* at the start
+//! of the phase and black for passive ones, the process label inside the
+//! node and the phase's guest label in gray beside it.
+
+use crate::phases::PhaseTable;
+use hre_ring::RingLabeling;
+use std::f64::consts::PI;
+
+const NODE_R: f64 = 14.0;
+const RING_R: f64 = 80.0;
+const PANEL: f64 = 240.0;
+
+fn node_xy(i: usize, n: usize, cx: f64, cy: f64) -> (f64, f64) {
+    // p0 at the top, clockwise placement like the paper's drawing.
+    let theta = -PI / 2.0 + 2.0 * PI * i as f64 / n as f64;
+    (cx + RING_R * theta.cos(), cy + RING_R * theta.sin())
+}
+
+/// Renders one phase of a `Bk` execution as a `<g>` panel at the given
+/// offset. Shown to the user via [`figure_svg`].
+fn phase_panel(
+    ring: &RingLabeling,
+    table: &PhaseTable,
+    phase: usize,
+    ox: f64,
+    oy: f64,
+    caption: &str,
+) -> String {
+    let n = ring.n();
+    let (cx, cy) = (ox + PANEL / 2.0, oy + PANEL / 2.0 - 10.0);
+    let active = table.active_set(phase);
+    let mut s = String::new();
+    s.push_str(&format!("  <g font-family=\"sans-serif\" font-size=\"11\">\n"));
+    // directed edges p(i) -> p(i+1)
+    for i in 0..n {
+        let (x1, y1) = node_xy(i, n, cx, cy);
+        let (x2, y2) = node_xy((i + 1) % n, n, cx, cy);
+        // shorten the segment so arrowheads sit outside the node circles
+        let (dx, dy) = (x2 - x1, y2 - y1);
+        let len = (dx * dx + dy * dy).sqrt();
+        let (ux, uy) = (dx / len, dy / len);
+        let (sx, sy) = (x1 + ux * NODE_R, y1 + uy * NODE_R);
+        let (tx, ty) = (x2 - ux * (NODE_R + 4.0), y2 - uy * (NODE_R + 4.0));
+        s.push_str(&format!(
+            "    <line x1=\"{sx:.1}\" y1=\"{sy:.1}\" x2=\"{tx:.1}\" y2=\"{ty:.1}\" \
+             stroke=\"#888\" marker-end=\"url(#arrow)\"/>\n"
+        ));
+    }
+    // nodes
+    for i in 0..n {
+        let (x, y) = node_xy(i, n, cx, cy);
+        let is_active = active.contains(&i);
+        let (fill, text_fill) = if is_active { ("white", "black") } else { ("#222", "white") };
+        s.push_str(&format!(
+            "    <circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"{NODE_R}\" fill=\"{fill}\" stroke=\"black\"/>\n"
+        ));
+        s.push_str(&format!(
+            "    <text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\" fill=\"{text_fill}\">{}</text>\n",
+            y + 4.0,
+            ring.label(i)
+        ));
+        // guest label, gray, placed radially outward
+        if let Some(g) = table.guest(phase, i) {
+            let (gx, gy) = {
+                let theta = -PI / 2.0 + 2.0 * PI * i as f64 / n as f64;
+                (cx + (RING_R + 26.0) * theta.cos(), cy + (RING_R + 26.0) * theta.sin())
+            };
+            s.push_str(&format!(
+                "    <text x=\"{gx:.1}\" y=\"{:.1}\" text-anchor=\"middle\" fill=\"#999\">{g}</text>\n",
+                gy + 4.0
+            ));
+        }
+        // process name, small, inside radius
+        let (px, py) = {
+            let theta = -PI / 2.0 + 2.0 * PI * i as f64 / n as f64;
+            (cx + (RING_R - 30.0) * theta.cos(), cy + (RING_R - 30.0) * theta.sin())
+        };
+        s.push_str(&format!(
+            "    <text x=\"{px:.1}\" y=\"{:.1}\" text-anchor=\"middle\" font-size=\"9\" fill=\"#555\">p{i}</text>\n",
+            py + 3.0
+        ));
+    }
+    s.push_str(&format!(
+        "    <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" font-size=\"12\">{caption}</text>\n",
+        ox + PANEL / 2.0,
+        oy + PANEL - 8.0
+    ));
+    s.push_str("  </g>\n");
+    s
+}
+
+/// Renders a grid of phase panels (the paper's Figure 1 layout: phases
+/// 1–4 in a 2×2 grid for the catalog ring, but any ring / any phase list
+/// works). Returns a complete standalone SVG document.
+pub fn figure_svg(ring: &RingLabeling, table: &PhaseTable, phases: &[usize]) -> String {
+    let cols = phases.len().min(2).max(1);
+    let rows = phases.len().div_ceil(cols);
+    let (w, h) = (PANEL * cols as f64, PANEL * rows as f64);
+    let mut s = String::new();
+    s.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" \
+         viewBox=\"0 0 {w} {h}\">\n"
+    ));
+    s.push_str(
+        "  <defs>\n    <marker id=\"arrow\" markerWidth=\"8\" markerHeight=\"8\" refX=\"6\" \
+         refY=\"3\" orient=\"auto\">\n      <path d=\"M0,0 L6,3 L0,6 z\" fill=\"#888\"/>\n    \
+         </marker>\n  </defs>\n",
+    );
+    s.push_str(&format!("  <rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n"));
+    for (idx, &phase) in phases.iter().enumerate() {
+        let ox = (idx % cols) as f64 * PANEL;
+        let oy = (idx / cols) as f64 * PANEL;
+        let caption = format!("({}) phase {phase}", (b'a' + idx as u8) as char);
+        s.push_str(&phase_panel(ring, table, phase, ox, oy, &caption));
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+/// Convenience: the paper's Figure 1 (phases 1–4 of `Bk`, `k = 3`, on the
+/// catalog ring) as an SVG document.
+pub fn figure1_svg() -> String {
+    let ring = hre_ring::catalog::figure1_ring();
+    let table = crate::phases::reconstruct_phases(&ring, hre_ring::catalog::FIGURE1_K);
+    figure_svg(&ring, &table, &[1, 2, 3, 4])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hre_ring::catalog;
+
+    #[test]
+    fn figure1_svg_is_well_formed_and_complete() {
+        let svg = figure1_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 4 panels × 8 nodes = 32 circles
+        assert_eq!(svg.matches("<circle").count(), 32);
+        // 4 panels × 8 directed edges
+        assert_eq!(svg.matches("<line").count(), 32);
+        // captions (a)..(d)
+        for c in ["(a) phase 1", "(b) phase 2", "(c) phase 3", "(d) phase 4"] {
+            assert!(svg.contains(c), "{c}");
+        }
+        // balanced tags
+        assert_eq!(svg.matches("<g ").count(), svg.matches("</g>").count());
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+
+    #[test]
+    fn active_nodes_are_white_passive_black() {
+        let ring = catalog::figure1_ring();
+        let table = crate::phases::reconstruct_phases(&ring, 3);
+        // Phase 2: 3 active (white), 5 passive (#222).
+        let svg = figure_svg(&ring, &table, &[2]);
+        assert_eq!(svg.matches("fill=\"white\" stroke=\"black\"").count(), 3);
+        assert_eq!(svg.matches("fill=\"#222\" stroke=\"black\"").count(), 5);
+    }
+
+    #[test]
+    fn single_phase_layout() {
+        let ring = catalog::ring_122();
+        let table = crate::phases::reconstruct_phases(&ring, 2);
+        let svg = figure_svg(&ring, &table, &[1]);
+        assert_eq!(svg.matches("<circle").count(), 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! The `Ak` vs `Bk` time/space trade-off (the abstract's headline claim),
+//! as a sweep producing one row per (ring, algorithm).
+
+use hre_core::{Ak, Bk};
+use hre_ring::{generate, RingLabeling};
+use hre_sim::{run, Algorithm, ProcessBehavior, RoundRobinSched, RunOptions};
+
+/// One measured data point of the trade-off experiment (E7).
+#[derive(Clone, Debug)]
+pub struct TradeoffRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Ring size.
+    pub n: usize,
+    /// Multiplicity bound used.
+    pub k: usize,
+    /// Bits per label.
+    pub label_bits: u32,
+    /// Time units measured.
+    pub time_units: u64,
+    /// Messages measured.
+    pub messages: u64,
+    /// Peak per-process space, bits.
+    pub space_bits: u64,
+    /// Paper's time bound for this algorithm, for side-by-side display.
+    pub time_bound: u64,
+    /// Paper's space bound, bits.
+    pub space_bound: u64,
+}
+
+fn measure<A: Algorithm>(
+    algo: &A,
+    ring: &RingLabeling,
+    k: usize,
+    time_bound: u64,
+    space_bound: u64,
+) -> TradeoffRow
+where
+    <A::Proc as ProcessBehavior>::Msg: Clone + std::fmt::Debug,
+{
+    let rep = run(algo, ring, &mut RoundRobinSched::default(), RunOptions::default());
+    assert!(rep.clean(), "{}: {:?} on {:?}", algo.name(), rep.violations, ring);
+    TradeoffRow {
+        algorithm: algo.name(),
+        n: ring.n(),
+        k,
+        label_bits: ring.label_bits(),
+        time_units: rep.metrics.time_units,
+        messages: rep.metrics.messages,
+        space_bits: rep.metrics.peak_space_bits,
+        time_bound,
+        space_bound,
+    }
+}
+
+/// Measures `Ak` and `Bk` on one ring; returns `[ak_row, bk_row]`.
+pub fn tradeoff_pair(ring: &RingLabeling, k: usize) -> [TradeoffRow; 2] {
+    assert!(k >= 2, "Bk needs k >= 2");
+    let n = ring.n() as u64;
+    let k64 = k as u64;
+    let b = ring.label_bits() as u64;
+    let ak = measure(
+        &Ak::new(k),
+        ring,
+        k,
+        (2 * k64 + 2) * n,
+        (2 * k64 + 1) * n * b + 2 * b + 3,
+    );
+    let log_k = ((k64 - 1).max(1).ilog2() + 1) as u64;
+    let bk = measure(
+        &Bk::new(k),
+        ring,
+        k,
+        // Theorem 4 gives O(k²n²); the explicit constant from the proof's
+        // phase accounting is (k+1)²n².
+        (k64 + 1) * (k64 + 1) * n * n,
+        2 * log_k + 3 * b + 5,
+    );
+    [ak, bk]
+}
+
+/// Sweeps rings of sizes `ns` with exact multiplicity `k`, seeded.
+pub fn tradeoff_sweep(ns: &[usize], k: usize, seed: u64) -> Vec<TradeoffRow> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for &n in ns {
+        let ring = generate::random_exact_multiplicity(n, k.min(n - 1), &mut rng);
+        for row in tradeoff_pair(&ring, k) {
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hre_ring::catalog;
+
+    #[test]
+    fn both_algorithms_within_their_bounds() {
+        let rows = tradeoff_sweep(&[6, 9, 12], 3, 42);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.time_units <= r.time_bound, "{r:?}");
+            assert!(r.space_bits <= r.space_bound, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn tradeoff_direction_is_as_claimed() {
+        // On the same ring: Ak is at least as fast, Bk uses (much) less
+        // space — the classical trade-off.
+        let ring = catalog::figure1_ring();
+        let [ak, bk] = tradeoff_pair(&ring, 3);
+        assert!(ak.time_units <= bk.time_units, "ak={ak:?} bk={bk:?}");
+        assert!(bk.space_bits < ak.space_bits, "ak={ak:?} bk={bk:?}");
+    }
+
+    #[test]
+    fn bk_space_is_n_independent() {
+        let rows = tradeoff_sweep(&[6, 12, 18], 2, 7);
+        // Bk's space is exactly 2⌈log k⌉ + 3b + 5 — it depends on b but not
+        // on n.
+        for r in rows.iter().filter(|r| r.algorithm.starts_with("Bk")) {
+            let expect = 2 + 3 * r.label_bits as u64 + 5; // ⌈log 2⌉ = 1
+            assert_eq!(r.space_bits, expect, "{r:?}");
+        }
+        let ak_spaces: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.algorithm.starts_with("Ak"))
+            .map(|r| r.space_bits)
+            .collect();
+        assert!(ak_spaces.windows(2).all(|w| w[0] < w[1]), "Ak space grows: {ak_spaces:?}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Chang–Roberts (1979): unidirectional extrema-finding for uniquely
+//! labeled rings.
+//!
+//! Every process launches a token with its label; a process forwards only
+//! tokens larger than its own label and discards the rest. The maximum
+//! label's token is the only one to survive a full turn; when its owner
+//! sees it come home it is the leader and circulates `FINISH` so everyone
+//! halts — making the classic message-terminating algorithm
+//! process-terminating.
+//!
+//! Correct only on `K1` rings (distinct labels): with homonyms, several
+//! maximum-labeled processes would all see "their" token return — one of
+//! the motivations for the paper's homonym-aware algorithms. A test below
+//! demonstrates exactly this failure.
+
+use hre_sim::{Algorithm, ElectionState, Outbox, ProcessBehavior, Reaction};
+use hre_words::Label;
+
+/// Messages of Chang–Roberts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrMsg {
+    /// A candidate token carrying a label.
+    Cand(Label),
+    /// Election over; the payload is the leader's label.
+    Finish(Label),
+}
+
+/// Factory for Chang–Roberts processes (elects the maximum label).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChangRoberts;
+
+impl Algorithm for ChangRoberts {
+    type Proc = CrProc;
+
+    fn name(&self) -> String {
+        "ChangRoberts".into()
+    }
+
+    fn spawn(&self, label: Label) -> CrProc {
+        CrProc { id: label, st: ElectionState::INITIAL }
+    }
+}
+
+/// One Chang–Roberts process.
+#[derive(Clone)]
+pub struct CrProc {
+    id: Label,
+    st: ElectionState,
+}
+
+impl hre_sim::StateKey for CrProc {
+    fn state_key(&self) -> String {
+        format!("{:?}/{:?}", self.id, self.st)
+    }
+}
+
+impl ProcessBehavior for CrProc {
+    type Msg = CrMsg;
+
+    fn on_start(&mut self, out: &mut Outbox<CrMsg>) {
+        out.send(CrMsg::Cand(self.id));
+    }
+
+    fn on_msg(&mut self, msg: &CrMsg, out: &mut Outbox<CrMsg>) -> Reaction {
+        match *msg {
+            CrMsg::Cand(x) => {
+                if x > self.id {
+                    out.send(CrMsg::Cand(x));
+                } else if x == self.id && !self.st.is_leader {
+                    // Our token survived a full turn: we hold the maximum.
+                    self.st.is_leader = true;
+                    self.st.leader = Some(self.id);
+                    self.st.done = true;
+                    out.send(CrMsg::Finish(self.id));
+                }
+                // x < id: discard (the dominated token dies here).
+                Reaction::Consumed
+            }
+            CrMsg::Finish(x) => {
+                if self.st.is_leader {
+                    self.st.halted = true;
+                } else {
+                    self.st.leader = Some(x);
+                    self.st.done = true;
+                    out.send(CrMsg::Finish(x));
+                    self.st.halted = true;
+                }
+                Reaction::Consumed
+            }
+        }
+    }
+
+    fn election(&self) -> ElectionState {
+        self.st
+    }
+
+    /// One label plus a one-bit tag per message.
+    fn msg_wire_bits(&self, _msg: &CrMsg, label_bits: u32) -> u64 {
+        label_bits as u64 + 1
+    }
+
+    /// `id` + `leader` labels and three booleans.
+    fn space_bits(&self, label_bits: u32) -> u64 {
+        2 * label_bits as u64 + 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hre_ring::{generate, RingLabeling};
+    use hre_sim::{run, RandomSched, RoundRobinSched, RunOptions, SyncSched};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn max_index(ring: &RingLabeling) -> usize {
+        (0..ring.n()).max_by_key(|&i| ring.label(i)).unwrap()
+    }
+
+    #[test]
+    fn elects_max_label_on_k1_rings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in 2..=15 {
+            let ring = generate::random_k1(n, &mut rng);
+            let rep = run(&ChangRoberts, &ring, &mut RoundRobinSched::default(), RunOptions::default());
+            assert!(rep.clean(), "{ring:?} {:?} {:?}", rep.verdict, rep.violations);
+            assert_eq!(rep.leader, Some(max_index(&ring)));
+        }
+    }
+
+    #[test]
+    fn all_schedulers_agree() {
+        let ring = RingLabeling::from_raw(&[3, 8, 1, 6, 2]);
+        let a = run(&ChangRoberts, &ring, &mut SyncSched, RunOptions::default());
+        let b = run(&ChangRoberts, &ring, &mut RandomSched::new(2), RunOptions::default());
+        assert!(a.clean() && b.clean());
+        assert_eq!(a.leader, b.leader);
+        assert_eq!(a.metrics.messages, b.metrics.messages);
+    }
+
+    #[test]
+    fn worst_case_is_quadratic_best_case_linear() {
+        // Descending arrangement (in send direction) is the worst case for
+        // elect-max: the token of label v travels v hops before dying at
+        // the maximum; sum = n(n+1)/2. Ascending is the best case: every
+        // dominated token dies after one hop.
+        let n = 16u64;
+        let asc: Vec<u64> = (1..=n).collect();
+        let desc: Vec<u64> = (1..=n).rev().collect();
+        let worst = run(
+            &ChangRoberts,
+            &RingLabeling::from_raw(&desc),
+            &mut RoundRobinSched::default(),
+            RunOptions::default(),
+        );
+        let best = run(
+            &ChangRoberts,
+            &RingLabeling::from_raw(&asc),
+            &mut RoundRobinSched::default(),
+            RunOptions::default(),
+        );
+        assert!(worst.clean() && best.clean());
+        assert!(worst.metrics.messages > best.metrics.messages * 2);
+        // Exact classical counts: worst = sum_{i=1..n} i + n (FINISH);
+        // best = n (own tokens) + (n-1) single hops... compute: descending
+        // ring: each token makes 1 hop then dies, except max's full turn.
+        assert_eq!(worst.metrics.messages, n * (n + 1) / 2 + n);
+        assert_eq!(best.metrics.messages, n + (n - 1) + n);
+    }
+
+    #[test]
+    fn homonyms_break_chang_roberts() {
+        // Two processes share the maximum label: both see "their" token
+        // return and both elect themselves — the homonym failure mode that
+        // motivates the paper.
+        let ring = RingLabeling::from_raw(&[5, 1, 5, 2]);
+        let rep = run(&ChangRoberts, &ring, &mut RoundRobinSched::default(), RunOptions::default());
+        assert!(!rep.clean());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, hre_sim::SpecViolation::MultipleLeaders { .. })));
+    }
+}

@@ -1,0 +1,42 @@
+//! # hre-baselines — classic ring leader-election algorithms
+//!
+//! Comparison baselines for the IPDPS 2017 reproduction, each written
+//! against the same [`hre_sim`] process model as `Ak`/`Bk`:
+//!
+//! * [`ChangRoberts`] (1979) — the classic unidirectional extrema-finding
+//!   algorithm for fully-identified rings (`K1`): `O(n log n)` messages on
+//!   average, `O(n²)` worst case;
+//! * [`Peterson`] — Peterson's `O(n log n)` worst-case unidirectional
+//!   algorithm (a.k.a. the Dolev–Klawe–Rodeh family), also for `K1`;
+//! * [`OracleN`] — election of the paper's *true leader* (Lyndon word) when
+//!   `n` is known a priori: the "knowledge of n" comparator discussed in
+//!   the paper's contribution section. Works on any asymmetric ring,
+//!   homonyms included;
+//! * [`BoundedN`] — a Dobrev–Pelc-style comparator that knows only bounds
+//!   `m ≤ n ≤ M`, decides whether election is possible for every ring
+//!   consistent with its observations, and performs it if so.
+//!
+//! The paper's related-work baseline `[10]` (Altisen et al., SSS 2016, for
+//! `U* ∩ Kk`) is specified in a different paper and is not reconstructible
+//! from this one; see DESIGN.md for the substitution rationale.
+//!
+//! Note: Chang–Roberts and Peterson elect an *extremum-labeled* process,
+//! while `Ak`/`Bk`/`OracleN` elect the *Lyndon-word* process. Each is
+//! correct against the leader-election specification; they simply use
+//! different tie-breaking structure, so cross-algorithm comparisons are
+//! about costs, not about electing the same index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounded_n;
+pub mod message_terminating;
+pub mod chang_roberts;
+pub mod oracle_n;
+pub mod peterson;
+
+pub use bounded_n::{BnMsg, BnProc, BoundedN};
+pub use message_terminating::{MtAk, MtMsg, MtProc};
+pub use chang_roberts::{ChangRoberts, CrMsg, CrProc};
+pub use oracle_n::{OracleN, OracleMsg, OracleProc};
+pub use peterson::{Peterson, PetersonMsg, PetersonProc};

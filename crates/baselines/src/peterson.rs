@@ -1,0 +1,220 @@
+//! Peterson's unidirectional leader election (1982), of the same family as
+//! Dolev–Klawe–Rodeh: `O(n log n)` messages worst case on fully-identified
+//! rings.
+//!
+//! The algorithm runs in phases. Each *active* process holds a temporary
+//! value `tid` (initially its label) and sends it; it then relays the first
+//! value it receives (so every active learns the `tid`s of its two nearest
+//! active predecessors, `v1` and `v2`). The process survives the phase —
+//! adopting `tid := v1` — iff `v1 > tid` and `v1 > v2`: exactly the
+//! processes sitting just after a local maximum survive, so at most half
+//! remain and values stay pairwise distinct. A process that receives its
+//! own current `tid` as `v1` is the only active left: it wins and
+//! circulates `FINISH`. *Relay* processes forward everything.
+
+use hre_sim::{Algorithm, ElectionState, Outbox, ProcessBehavior, Reaction};
+use hre_words::Label;
+
+/// Messages of Peterson's algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PetersonMsg {
+    /// A phase value (either a fresh `tid` or a relayed `v1`).
+    Cand(Label),
+    /// Election over; payload is the leader's label.
+    Finish(Label),
+}
+
+/// Control state of one process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Active, waiting for the first value of the phase.
+    AwaitFirst,
+    /// Active, waiting for the second value (first one recorded).
+    AwaitSecond(Label),
+    /// Demoted to a relay.
+    Relay,
+    /// Declared leader, waiting for `FINISH` to come home.
+    Won,
+}
+
+/// Factory for Peterson processes. Requires distinct labels (`K1`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Peterson;
+
+impl Algorithm for Peterson {
+    type Proc = PetersonProc;
+
+    fn name(&self) -> String {
+        "Peterson".into()
+    }
+
+    fn spawn(&self, label: Label) -> PetersonProc {
+        PetersonProc { id: label, tid: label, mode: Mode::AwaitFirst, st: ElectionState::INITIAL }
+    }
+}
+
+/// One Peterson process.
+pub struct PetersonProc {
+    id: Label,
+    tid: Label,
+    mode: Mode,
+    st: ElectionState,
+}
+
+impl PetersonProc {
+    /// Whether the process is still competing.
+    pub fn is_active(&self) -> bool {
+        matches!(self.mode, Mode::AwaitFirst | Mode::AwaitSecond(_) | Mode::Won)
+    }
+}
+
+impl ProcessBehavior for PetersonProc {
+    type Msg = PetersonMsg;
+
+    fn on_start(&mut self, out: &mut Outbox<PetersonMsg>) {
+        out.send(PetersonMsg::Cand(self.tid));
+    }
+
+    fn on_msg(&mut self, msg: &PetersonMsg, out: &mut Outbox<PetersonMsg>) -> Reaction {
+        match (*msg, self.mode) {
+            (PetersonMsg::Cand(v1), Mode::AwaitFirst) => {
+                if v1 == self.tid {
+                    // Our value made a full turn: sole survivor.
+                    self.mode = Mode::Won;
+                    self.st.is_leader = true;
+                    self.st.leader = Some(self.id);
+                    self.st.done = true;
+                    out.send(PetersonMsg::Finish(self.id));
+                } else {
+                    out.send(PetersonMsg::Cand(v1)); // relay v1 to complete the pair
+                    self.mode = Mode::AwaitSecond(v1);
+                }
+                Reaction::Consumed
+            }
+            (PetersonMsg::Cand(v2), Mode::AwaitSecond(v1)) => {
+                if v1 > self.tid && v1 > v2 {
+                    // Survive the phase, adopting the local maximum behind us.
+                    self.tid = v1;
+                    self.mode = Mode::AwaitFirst;
+                    out.send(PetersonMsg::Cand(self.tid));
+                } else {
+                    self.mode = Mode::Relay;
+                }
+                Reaction::Consumed
+            }
+            (PetersonMsg::Cand(v), Mode::Relay) => {
+                out.send(PetersonMsg::Cand(v));
+                Reaction::Consumed
+            }
+            (PetersonMsg::Finish(x), Mode::Relay) => {
+                self.st.leader = Some(x);
+                self.st.done = true;
+                out.send(PetersonMsg::Finish(x));
+                self.st.halted = true;
+                Reaction::Consumed
+            }
+            (PetersonMsg::Finish(_), Mode::Won) => {
+                self.st.halted = true;
+                Reaction::Consumed
+            }
+            // A Cand arriving at a winner, or Finish at a still-active
+            // process, matches no guard.
+            _ => Reaction::Ignored,
+        }
+    }
+
+    fn election(&self) -> ElectionState {
+        self.st
+    }
+
+    /// One label plus a one-bit tag per message.
+    fn msg_wire_bits(&self, _msg: &PetersonMsg, label_bits: u32) -> u64 {
+        label_bits as u64 + 1
+    }
+
+    /// `id`, `tid`, a possible buffered `v1`, `leader`: 4 labels; mode (2
+    /// bits) + the three spec booleans.
+    fn space_bits(&self, label_bits: u32) -> u64 {
+        4 * label_bits as u64 + 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hre_ring::{enumerate, generate, RingLabeling};
+    use hre_sim::{run, RandomSched, RoundRobinSched, RunOptions, SyncSched, Verdict};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn elects_a_unique_leader_on_k1_rings() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in 2..=20 {
+            let ring = generate::random_k1(n, &mut rng);
+            let rep = run(&Peterson, &ring, &mut RoundRobinSched::default(), RunOptions::default());
+            assert!(rep.clean(), "{ring:?} {:?} {:?}", rep.verdict, rep.violations);
+            assert!(rep.leader.is_some());
+        }
+    }
+
+    #[test]
+    fn exhaustive_all_permutations_n_up_to_6() {
+        for n in 2..=6usize {
+            for ring in enumerate::all_k1_labelings(n) {
+                let rep =
+                    run(&Peterson, &ring, &mut RoundRobinSched::default(), RunOptions::default());
+                assert!(rep.clean(), "{ring:?} {:?} {:?}", rep.verdict, rep.violations);
+            }
+        }
+    }
+
+    #[test]
+    fn schedulers_agree_and_never_deadlock() {
+        let ring = RingLabeling::from_raw(&[4, 9, 2, 7, 1, 8, 3]);
+        let a = run(&Peterson, &ring, &mut SyncSched, RunOptions::default());
+        let b = run(&Peterson, &ring, &mut RandomSched::new(17), RunOptions::default());
+        for r in [&a, &b] {
+            assert!(r.clean(), "{:?} {:?}", r.verdict, r.violations);
+            assert_ne!(r.verdict, Verdict::Deadlock);
+        }
+        assert_eq!(a.leader, b.leader);
+        assert_eq!(a.metrics.messages, b.metrics.messages);
+    }
+
+    #[test]
+    fn message_complexity_is_n_log_n() {
+        // Peterson guarantees <= 2 n lg n + O(n) messages. Check the bound
+        // on descending rings (Chang–Roberts's worst case).
+        for n in [8u64, 16, 32, 64] {
+            let desc: Vec<u64> = (1..=n).rev().collect();
+            let ring = RingLabeling::from_raw(&desc);
+            let rep = run(&Peterson, &ring, &mut RoundRobinSched::default(), RunOptions::default());
+            assert!(rep.clean());
+            let lg = 64 - n.leading_zeros() as u64; // ceil-ish log2
+            let bound = 2 * n * (lg + 1) + 2 * n;
+            assert!(
+                rep.metrics.messages <= bound,
+                "n={n}: {} > {}",
+                rep.metrics.messages,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn phase_survivors_halve() {
+        // Structural sanity: on a 2^m ring, termination happens within m+1
+        // phases, i.e. time O(n log n) in the worst case but the winner's
+        // tid equals the global max.
+        let ring = RingLabeling::from_raw(&[5, 3, 8, 1, 9, 2, 7, 4]);
+        let rep = run(&Peterson, &ring, &mut RoundRobinSched::default(), RunOptions::default());
+        assert!(rep.clean());
+        // the winner holds the max label as tid, though its own id differs
+        let leader_idx = rep.leader.unwrap();
+        let leader_label = ring.label(leader_idx);
+        assert_eq!(rep.violations.len(), 0);
+        // everyone agrees on the *winner's* label, not the max label
+        assert_ne!(leader_label, hre_words::Label::new(9)); // 9's successor-side process wins instead
+    }
+}

@@ -1,0 +1,46 @@
+//! Ablation bench: the optimized `Ak` (incremental counts + frozen-verdict
+//! cache, KMP srp, Booth rotation) against `AkReference`, the literal
+//! transcription of Table 1 that recomputes `Leader(σ)` from scratch with
+//! naive algorithms on every reception. The differential tests prove the
+//! two behaviorally identical; this bench shows what the optimization buys
+//! (the gap widens superlinearly with `n` — the naive predicate is
+//! `O(m²)`-per-message on `O(kn)`-long strings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hre_core::{Ak, AkReference};
+use hre_ring::generate::random_exact_multiplicity;
+use hre_sim::{run, RoundRobinSched, RunOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ak_vs_reference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut g = c.benchmark_group("ablation/ak-vs-reference");
+    for n in [8usize, 16, 32] {
+        let ring = random_exact_multiplicity(n, 3, &mut rng);
+        g.bench_with_input(BenchmarkId::new("optimized", n), &ring, |b, ring| {
+            b.iter(|| {
+                let rep =
+                    run(&Ak::new(3), ring, &mut RoundRobinSched::default(), RunOptions::default());
+                assert!(rep.clean());
+                rep.metrics.messages
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("reference", n), &ring, |b, ring| {
+            b.iter(|| {
+                let rep = run(
+                    &AkReference::new(3),
+                    ring,
+                    &mut RoundRobinSched::default(),
+                    RunOptions::default(),
+                );
+                assert!(rep.clean());
+                rep.metrics.messages
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ak_vs_reference);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches for the paper's algorithms: simulated execution cost
+//! of `Ak` and `Bk` across the `n × k` grid (wall-clock of the full
+//! discrete-event run; the model-level costs are reported by the `exp_*`
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hre_bench::{measure_ak, measure_bk};
+use hre_ring::generate::random_exact_multiplicity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ak_scaling_n(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut g = c.benchmark_group("ak/n-scaling(k=3)");
+    for n in [16usize, 32, 64, 128] {
+        let ring = random_exact_multiplicity(n, 3, &mut rng);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ring, |b, ring| {
+            b.iter(|| measure_ak(ring, 3))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ak_scaling_k(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut g = c.benchmark_group("ak/k-scaling(n=32)");
+    for k in [2usize, 4, 8, 16] {
+        let ring = random_exact_multiplicity(32, k, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &ring, |b, ring| {
+            b.iter(|| measure_ak(ring, k))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bk_scaling_n(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut g = c.benchmark_group("bk/n-scaling(k=3)");
+    for n in [16usize, 32, 64] {
+        let ring = random_exact_multiplicity(n, 3, &mut rng);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ring, |b, ring| {
+            b.iter(|| measure_bk(ring, 3))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bk_scaling_k(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut g = c.benchmark_group("bk/k-scaling(n=24)");
+    for k in [2usize, 4, 8] {
+        let ring = random_exact_multiplicity(24, k, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &ring, |b, ring| {
+            b.iter(|| measure_bk(ring, k))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ak_scaling_n,
+    bench_ak_scaling_k,
+    bench_bk_scaling_n,
+    bench_bk_scaling_k
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches comparing the baselines with the paper's algorithms
+//! on the same `K1` rings (full simulated run per iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hre_baselines::{ChangRoberts, OracleN, Peterson};
+use hre_ring::generate::random_k1;
+use hre_sim::{run, RoundRobinSched, RunOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_baselines_on_k1(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut g = c.benchmark_group("baselines/k1");
+    for n in [16usize, 64, 256] {
+        let ring = random_k1(n, &mut rng);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("chang-roberts", n), &ring, |b, ring| {
+            b.iter(|| {
+                let rep =
+                    run(&ChangRoberts, ring, &mut RoundRobinSched::default(), RunOptions::default());
+                assert!(rep.clean());
+                rep.metrics.messages
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("peterson", n), &ring, |b, ring| {
+            b.iter(|| {
+                let rep =
+                    run(&Peterson, ring, &mut RoundRobinSched::default(), RunOptions::default());
+                assert!(rep.clean());
+                rep.metrics.messages
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("oracle-n", n), &ring, |b, ring| {
+            b.iter(|| {
+                let rep = run(
+                    &OracleN::new(ring.n()),
+                    ring,
+                    &mut RoundRobinSched::default(),
+                    RunOptions::default(),
+                );
+                assert!(rep.clean());
+                rep.metrics.messages
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ak-k1", n), &ring, |b, ring| {
+            b.iter(|| hre_bench::measure_ak(ring, 1).messages)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines_on_k1);
+criterion_main!(benches);

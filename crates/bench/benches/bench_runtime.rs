@@ -1,0 +1,35 @@
+//! Criterion benches of the threaded runtime: wall-clock cost of a full
+//! election on real OS threads, vs the discrete-event simulator on the
+//! same ring (the simulator wins by a wide margin at these sizes — thread
+//! spawn and channel wakeups dominate — which is exactly why the
+//! reproduction measures model costs in the simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hre_core::Ak;
+use hre_ring::generate::random_exact_multiplicity;
+use hre_runtime::{run_threaded, ThreadedOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_threaded_vs_sim(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut g = c.benchmark_group("runtime/ak");
+    g.sample_size(10); // thread spawning is expensive; keep samples modest
+    for n in [8usize, 32] {
+        let ring = random_exact_multiplicity(n, 3, &mut rng);
+        g.bench_with_input(BenchmarkId::new("threads", n), &ring, |b, ring| {
+            b.iter(|| {
+                let rep = run_threaded(&Ak::new(3), ring, ThreadedOptions::default());
+                assert!(rep.clean());
+                rep.messages
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("simulator", n), &ring, |b, ring| {
+            b.iter(|| hre_bench::measure_ak(ring, 3).messages)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_threaded_vs_sim);
+criterion_main!(benches);

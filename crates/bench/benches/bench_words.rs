@@ -1,0 +1,89 @@
+//! Criterion benches for the word-combinatorics substrate: `srp` (KMP vs
+//! naive), Booth's least rotation vs naive, Duval, and the `Leader(σ)`
+//! predicate evaluated the way `Ak` does.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hre_core::leader_predicate;
+use hre_ring::generate::random_exact_multiplicity;
+use hre_words::{
+    duval_factorization, least_rotation, least_rotation_naive, srp_len, srp_len_naive, Label,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn periodic_seq(n: usize, copies: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base: Vec<u8> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+    let mut s = Vec::with_capacity(n * copies);
+    for _ in 0..copies {
+        s.extend_from_slice(&base);
+    }
+    s
+}
+
+fn bench_srp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("words/srp");
+    for len in [64usize, 512, 4096] {
+        let s = periodic_seq(len / 4, 4, 7);
+        g.throughput(Throughput::Elements(s.len() as u64));
+        g.bench_with_input(BenchmarkId::new("kmp", len), &s, |b, s| b.iter(|| srp_len(s)));
+        if len <= 512 {
+            g.bench_with_input(BenchmarkId::new("naive", len), &s, |b, s| {
+                b.iter(|| srp_len_naive(s))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_least_rotation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("words/least-rotation");
+    let mut rng = StdRng::seed_from_u64(9);
+    for len in [64usize, 512, 4096] {
+        let s: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4)).collect();
+        g.throughput(Throughput::Elements(len as u64));
+        g.bench_with_input(BenchmarkId::new("booth", len), &s, |b, s| {
+            b.iter(|| least_rotation(s))
+        });
+        if len <= 512 {
+            g.bench_with_input(BenchmarkId::new("naive", len), &s, |b, s| {
+                b.iter(|| least_rotation_naive(s))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_duval(c: &mut Criterion) {
+    let mut g = c.benchmark_group("words/duval");
+    let mut rng = StdRng::seed_from_u64(13);
+    for len in [512usize, 4096] {
+        let s: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4)).collect();
+        g.throughput(Throughput::Elements(len as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len), &s, |b, s| {
+            b.iter(|| duval_factorization(s).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_leader_predicate(c: &mut Criterion) {
+    // The exact strings an Ak leader examines: LLabels prefixes with 2k+1
+    // copies of a label.
+    let mut g = c.benchmark_group("words/leader-predicate");
+    let mut rng = StdRng::seed_from_u64(21);
+    for (n, k) in [(32usize, 3usize), (128, 3), (128, 8)] {
+        let ring = random_exact_multiplicity(n, k, &mut rng);
+        let m = (2 * k + 1) * n / k + 1;
+        let sigma: Vec<Label> = ring.llabels(0, m);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}k{k}")),
+            &sigma,
+            |b, s| b.iter(|| leader_predicate(s, k)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_srp, bench_least_rotation, bench_duval, bench_leader_predicate);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e03_ak_bounds`.
+fn main() {
+    print!("{}", hre_bench::experiments::e03_ak_bounds::report());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e08_baselines`.
+fn main() {
+    print!("{}", hre_bench::experiments::e08_baselines::report());
+}

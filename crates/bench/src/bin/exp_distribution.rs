@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e15_distribution`.
+fn main() {
+    print!("{}", hre_bench::experiments::e15_distribution::report());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e13_faults`.
+fn main() {
+    print!("{}", hre_bench::experiments::e13_faults::report());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e05_figure1`.
+fn main() {
+    print!("{}", hre_bench::experiments::e05_figure1::report());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e02_impossibility`.
+fn main() {
+    print!("{}", hre_bench::experiments::e02_impossibility::report());
+}

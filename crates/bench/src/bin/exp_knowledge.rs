@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e14_knowledge`.
+fn main() {
+    print!("{}", hre_bench::experiments::e14_knowledge::report());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e01_lower_bound`.
+fn main() {
+    print!("{}", hre_bench::experiments::e01_lower_bound::report());
+}

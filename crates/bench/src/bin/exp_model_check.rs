@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e16_model_check`.
+fn main() {
+    print!("{}", hre_bench::experiments::e16_model_check::report());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e09_ring122`.
+fn main() {
+    print!("{}", hre_bench::experiments::e09_ring122::report());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e11_runtime`.
+fn main() {
+    print!("{}", hre_bench::experiments::e11_runtime::report());
+}

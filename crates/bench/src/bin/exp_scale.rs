@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e17_scale`.
+fn main() {
+    print!("{}", hre_bench::experiments::e17_scale::report());
+}

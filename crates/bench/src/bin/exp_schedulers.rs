@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e10_schedulers`.
+fn main() {
+    print!("{}", hre_bench::experiments::e10_schedulers::report());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e06_state_diagram`.
+fn main() {
+    print!("{}", hre_bench::experiments::e06_state_diagram::report());
+}

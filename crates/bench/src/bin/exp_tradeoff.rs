@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e07_tradeoff`.
+fn main() {
+    print!("{}", hre_bench::experiments::e07_tradeoff::report());
+}

@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e12_words`.
+fn main() {
+    print!("{}", hre_bench::experiments::e12_words::report());
+}

@@ -1,0 +1,72 @@
+//! E2 — Theorem 1 / Corollary 3: no algorithm solves process-terminating
+//! leader election for `U*` (hence none for `A ⊇ U*`).
+//!
+//! The paper's proof is an adversarial construction; we execute it against
+//! concrete candidates (`Ak` and `Bk` with various fixed parameters) and
+//! report the counterexample each time: the `K1` base ring, the measured
+//! `T`, the chosen replication factor, and the synchronous step at which
+//! two replicas simultaneously claimed leadership.
+
+use hre_analysis::{demonstrate_impossibility, Table};
+use hre_core::{Ak, Bk};
+use hre_ring::generate::random_k1;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 1_234_567;
+
+/// Runs the experiment and renders its report.
+pub fn report() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("seed = {SEED}\n\n"));
+    let mut table = Table::new([
+        "candidate", "base n", "T (sync steps)", "adversary k", "|R(n,k)|",
+        "2-leaders at step", "refuted",
+    ]);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut all_refuted = true;
+
+    for n in [3usize, 4, 5] {
+        let base = random_k1(n, &mut rng);
+        for k0 in [1usize, 2, 3] {
+            let cert = demonstrate_impossibility(&Ak::new(k0), &base);
+            all_refuted &= cert.refutes();
+            table.row([
+                format!("Ak(k0={k0})"),
+                n.to_string(),
+                cert.t_steps.to_string(),
+                cert.k.to_string(),
+                cert.big.n().to_string(),
+                cert.two_leaders_step.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+                if cert.refutes() { "✓".into() } else { "✗".to_string() },
+            ]);
+        }
+        let cert = demonstrate_impossibility(&Bk::new(2), &base);
+        all_refuted &= cert.refutes();
+        table.row([
+            "Bk(k0=2)".to_string(),
+            n.to_string(),
+            cert.t_steps.to_string(),
+            cert.k.to_string(),
+            cert.big.n().to_string(),
+            cert.two_leaders_step.map(|s| s.to_string()).unwrap_or_else(|| "-".into()),
+            if cert.refutes() { "✓".into() } else { "✗".to_string() },
+        ]);
+    }
+    out.push_str(&table.render());
+    out.push_str(&format!(
+        "\nEvery candidate was refuted on a ring of U*: {}\n\
+         (Theorem 1 live; Corollary 3 follows since U* ⊆ A.)\n",
+        if all_refuted { "YES" } else { "NO" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_candidate_refuted() {
+        let r = super::report();
+        assert!(r.contains("refuted on a ring of U*: YES"), "{r}");
+    }
+}

@@ -1,0 +1,125 @@
+//! E3 — Theorem 2: Algorithm `Ak` (Table 1).
+//!
+//! Paper claims, for any ring of `A ∩ Kk`:
+//! * time ≤ `(2k+2)·n` time units,
+//! * messages ≤ `n²(2k+1) + n`,
+//! * space ≤ `(2k+1)·n·b + 2b + 3` bits per process,
+//! * the *true leader* (Lyndon-word process) is elected.
+//!
+//! We sweep `n × k` over rings of exact multiplicity `k` and report
+//! measured vs bound. Ratios well under 1.0 are expected — the bounds are
+//! worst-case over all rings of the class, while the tightest instances
+//! (all labels distinct, `M = 1`) max out the time bound.
+
+use crate::measure_ak;
+use hre_analysis::Table;
+use hre_ring::generate::{near_symmetric_ring, random_exact_multiplicity, random_k1};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 42;
+
+/// Runs the experiment and renders its report.
+pub fn report() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("seed = {SEED}\n\n"));
+    let mut table = Table::new([
+        "n", "k", "b", "time", "≤ (2k+2)n", "msgs", "≤ n²(2k+1)+n", "space(b)", "≤ bound", "ok",
+    ]);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut all_ok = true;
+
+    for &(n, k) in &[
+        (8usize, 2usize),
+        (8, 4),
+        (16, 2),
+        (16, 4),
+        (32, 2),
+        (32, 4),
+        (32, 8),
+        (64, 4),
+        (64, 8),
+        (128, 4),
+    ] {
+        let ring = random_exact_multiplicity(n, k, &mut rng);
+        let b = ring.label_bits() as u64;
+        let m = measure_ak(&ring, k);
+        let (n64, k64) = (n as u64, k as u64);
+        let tb = (2 * k64 + 2) * n64;
+        let mb = n64 * n64 * (2 * k64 + 1) + n64;
+        let sb = (2 * k64 + 1) * n64 * b + 2 * b + 3;
+        let ok = m.time_units <= tb && m.messages <= mb && m.peak_space_bits <= sb;
+        all_ok &= ok;
+        table.row([
+            n.to_string(),
+            k.to_string(),
+            b.to_string(),
+            m.time_units.to_string(),
+            tb.to_string(),
+            m.messages.to_string(),
+            mb.to_string(),
+            m.peak_space_bits.to_string(),
+            sb.to_string(),
+            if ok { "✓".into() } else { "✗".to_string() },
+        ]);
+    }
+    out.push_str(&table.render());
+
+    // K1 rings (M = 1) are the worst case of the time analysis: the
+    // execution really needs ~(2k+1)n time before the leader can decide.
+    out.push_str("\nWorst-case family (K1 rings, M = 1): time approaches the bound.\n");
+    let mut t2 = Table::new(["n", "k", "time", "(2k+2)n", "time/(2k+2)n"]);
+    for &(n, k) in &[(8usize, 2usize), (16, 3), (32, 4)] {
+        let ring = random_k1(n, &mut rng);
+        let m = measure_ak(&ring, k);
+        let tb = (2 * k as u64 + 2) * n as u64;
+        t2.row([
+            n.to_string(),
+            k.to_string(),
+            m.time_units.to_string(),
+            tb.to_string(),
+            format!("{:.2}", m.time_units as f64 / tb as f64),
+        ]);
+    }
+    out.push_str(&t2.render());
+
+    // Near-symmetric rings ((1,2) repeated, one defect) maximize the
+    // multiplicity k = n/2 and hence Ak's string growth: the space column
+    // is the stress case of the (2k+1)nb bound.
+    out.push_str("\nStress family (near-symmetric rings, k = multiplicity = n/2):\n");
+    let mut t3 = Table::new(["n", "k", "time", "msgs", "space(b)", "≤ (2k+1)nb+2b+3", "ok"]);
+    for &half in &[4usize, 8, 12] {
+        let ring = near_symmetric_ring(&[1, 2], half);
+        let n = ring.n();
+        let k = ring.max_multiplicity();
+        let b = ring.label_bits() as u64;
+        let m = measure_ak(&ring, k);
+        let sb = (2 * k as u64 + 1) * n as u64 * b + 2 * b + 3;
+        let ok = m.peak_space_bits <= sb;
+        all_ok &= ok;
+        t3.row([
+            n.to_string(),
+            k.to_string(),
+            m.time_units.to_string(),
+            m.messages.to_string(),
+            m.peak_space_bits.to_string(),
+            sb.to_string(),
+            if ok { "✓".into() } else { "✗".to_string() },
+        ]);
+    }
+    out.push_str(&t3.render());
+    out.push_str(&format!(
+        "\nAll sweeps within every Theorem 2 bound: {}\n",
+        if all_ok { "YES" } else { "NO" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_bounds_hold() {
+        let r = super::report();
+        assert!(r.contains("within every Theorem 2 bound: YES"), "{r}");
+    }
+}

@@ -1,0 +1,75 @@
+//! E5 — Figure 1: the worked `Bk` execution.
+//!
+//! The paper walks `Bk` (`k = 3`) through the ring `(1,3,1,3,2,2,1,2)` in
+//! four illustrated phases, electing `p0`. We reconstruct every phase from
+//! an instrumented run and print it side by side with the figure's values.
+
+use hre_analysis::phases::{figure1_expected, reconstruct_phases};
+use hre_analysis::Table;
+use hre_ring::catalog;
+use hre_words::Label;
+
+/// Runs the experiment and renders its report.
+pub fn report() -> String {
+    let ring = catalog::figure1_ring();
+    let k = catalog::FIGURE1_K;
+    let table = reconstruct_phases(&ring, k);
+    let expected = figure1_expected();
+
+    let mut out = String::new();
+    out.push_str(&format!("ring = {ring}, k = {k}\n"));
+    out.push_str(&format!(
+        "elected: p{} after X = {} phases (paper: p0, X = 9)\n\n",
+        table.leader, table.leader_phases
+    ));
+
+    let mut t = Table::new(["phase", "active (measured)", "active (paper)", "guests p0..p7 (measured)", "guests (paper)", "match"]);
+    let mut all_match = true;
+    for phase in 1..=table.phases() {
+        let active: Vec<String> = table.active_set(phase).iter().map(|p| format!("p{p}")).collect();
+        let guests: Vec<String> = (0..ring.n())
+            .map(|p| table.guest(phase, p).map(|g| g.to_string()).unwrap_or("-".into()))
+            .collect();
+        let (paper_active, paper_guests, verdict) = if phase <= expected.len() {
+            let (ea, eg) = &expected[phase - 1];
+            let ok = table.active_set(phase) == *ea
+                && (0..ring.n()).all(|p| table.guest(phase, p) == Some(Label::new(eg[p])));
+            all_match &= ok;
+            (
+                ea.iter().map(|p| format!("p{p}")).collect::<Vec<_>>().join(","),
+                eg.iter().map(|g| g.to_string()).collect::<Vec<_>>().join(","),
+                if ok { "✓" } else { "✗" },
+            )
+        } else {
+            ("—".into(), "—".into(), "·")
+        };
+        t.row([
+            phase.to_string(),
+            active.join(","),
+            paper_active,
+            guests.join(","),
+            paper_guests,
+            verdict.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nPhases 1–4 match Figure 1 exactly: {} (phases 5–9 are the paper's \
+         \"…continues until outer = k+1\" tail, not illustrated).\n",
+        if all_match && table.leader == catalog::FIGURE1_LEADER && table.leader_phases == 9 {
+            "YES"
+        } else {
+            "NO"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn figure_matches() {
+        let r = super::report();
+        assert!(r.contains("match Figure 1 exactly: YES"), "{r}");
+    }
+}

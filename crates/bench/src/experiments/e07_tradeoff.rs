@@ -1,0 +1,93 @@
+//! E7 — the abstract's headline: "two algorithms, which achieve the
+//! classical trade-off between time and space".
+//!
+//! Same rings, both algorithms, growing `n` (fixed `k`) and growing `k`
+//! (fixed `n`): `Ak` wins time (`Θ(kn)` vs `Bk`'s `Θ(k·X·n)`-ish growth),
+//! `Bk` wins space (constant labels vs `Θ(kn)` labels).
+
+use hre_analysis::tradeoff::tradeoff_pair;
+use hre_analysis::Table;
+use hre_ring::generate::random_exact_multiplicity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 777;
+
+/// Runs the experiment and renders its report.
+pub fn report() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("seed = {SEED}\n"));
+    let mut rng = StdRng::seed_from_u64(SEED);
+
+    out.push_str("\nGrowing n (k = 3):\n");
+    let mut t1 = Table::new([
+        "n", "Ak time", "Bk time", "Bk/Ak time", "Ak space(b)", "Bk space(b)", "Ak/Bk space",
+    ]);
+    let mut ak_time_prev = 0.0f64;
+    for &n in &[9usize, 18, 36, 72] {
+        let ring = random_exact_multiplicity(n, 3, &mut rng);
+        let [ak, bk] = tradeoff_pair(&ring, 3);
+        t1.row([
+            n.to_string(),
+            ak.time_units.to_string(),
+            bk.time_units.to_string(),
+            format!("{:.1}x", bk.time_units as f64 / ak.time_units as f64),
+            ak.space_bits.to_string(),
+            bk.space_bits.to_string(),
+            format!("{:.1}x", ak.space_bits as f64 / bk.space_bits as f64),
+        ]);
+        ak_time_prev = ak.time_units as f64;
+    }
+    let _ = ak_time_prev;
+    out.push_str(&t1.render());
+
+    out.push_str("\nGrowing k (n = 24):\n");
+    let mut t2 = Table::new([
+        "k", "Ak time", "Bk time", "Bk/Ak time", "Ak space(b)", "Bk space(b)", "Ak/Bk space",
+    ]);
+    for &k in &[2usize, 3, 4, 6, 8] {
+        let ring = random_exact_multiplicity(24, k, &mut rng);
+        let [ak, bk] = tradeoff_pair(&ring, k);
+        t2.row([
+            k.to_string(),
+            ak.time_units.to_string(),
+            bk.time_units.to_string(),
+            format!("{:.1}x", bk.time_units as f64 / ak.time_units as f64),
+            ak.space_bits.to_string(),
+            bk.space_bits.to_string(),
+            format!("{:.1}x", ak.space_bits as f64 / bk.space_bits as f64),
+        ]);
+    }
+    out.push_str(&t2.render());
+
+    // Shape assertions for the summary line.
+    let ring_small = random_exact_multiplicity(12, 3, &mut rng);
+    let ring_large = random_exact_multiplicity(48, 3, &mut rng);
+    let [ak_s, bk_s] = tradeoff_pair(&ring_small, 3);
+    let [ak_l, bk_l] = tradeoff_pair(&ring_large, 3);
+    let shape_ok = ak_s.time_units <= bk_s.time_units
+        && ak_l.time_units <= bk_l.time_units
+        && bk_s.space_bits < ak_s.space_bits
+        && bk_l.space_bits < ak_l.space_bits
+        // Bk's time disadvantage *widens* with n (quadratic vs linear):
+        && (bk_l.time_units as f64 / ak_l.time_units as f64)
+            > (bk_s.time_units as f64 / ak_s.time_units as f64)
+        // Ak's space disadvantage widens with n (linear vs constant):
+        && (ak_l.space_bits as f64 / bk_l.space_bits as f64)
+            > (ak_s.space_bits as f64 / bk_s.space_bits as f64);
+    out.push_str(&format!(
+        "\nTrade-off shape (Ak faster everywhere, Bk smaller everywhere, both \
+         gaps widening with n): {}\n",
+        if shape_ok { "CONFIRMED" } else { "NOT CONFIRMED" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tradeoff_confirmed() {
+        let r = super::report();
+        assert!(r.contains("widening with n): CONFIRMED"), "{r}");
+    }
+}

@@ -1,0 +1,94 @@
+//! E8 — the related-work comparison axis (§I): what does extra knowledge
+//! buy?
+//!
+//! On `K1` rings (where everything applies) we compare:
+//! * **Chang–Roberts** and **Peterson** — classic algorithms that *require*
+//!   unique labels;
+//! * **OracleN** — Lyndon-word election knowing `n`;
+//! * **Ak / Bk** — the paper's algorithms knowing only `k` (= 1, so `Bk`
+//!   runs with its minimum legal `k = 2`).
+//!
+//! The shape to observe: unique labels let CR/Peterson elect in `O(n)`
+//! time; the homonym-capable algorithms pay for generality with larger
+//! message counts; `Ak`'s costs scale with its `k` parameter even when the
+//! ring is actually `K1`.
+
+use hre_analysis::Table;
+use hre_baselines::{BoundedN, ChangRoberts, OracleN, Peterson};
+use hre_ring::generate::random_k1;
+use hre_sim::{run, RoundRobinSched, RunOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 808;
+
+/// Runs the experiment and renders its report.
+pub fn report() -> String {
+    let mut out = String::new();
+    out.push_str(&format!("seed = {SEED}; all runs on the same K1 rings\n\n"));
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut t = Table::new(["n", "algorithm", "knowledge", "messages", "wire bits", "time", "space (bits)"]);
+    let mut shape_ok = true;
+
+    for &n in &[8usize, 16, 32, 64] {
+        let ring = random_k1(n, &mut rng);
+        let mut add = |name: &str, knowledge: &str, m: hre_sim::RunMetrics| {
+            t.row([
+                n.to_string(),
+                name.to_string(),
+                knowledge.to_string(),
+                m.messages.to_string(),
+                m.wire_bits.to_string(),
+                m.time_units.to_string(),
+                m.peak_space_bits.to_string(),
+            ]);
+            m
+        };
+        let cr = run(&ChangRoberts, &ring, &mut RoundRobinSched::default(), RunOptions::default());
+        assert!(cr.clean());
+        let cr = add("ChangRoberts", "unique labels", cr.metrics);
+        let pe = run(&Peterson, &ring, &mut RoundRobinSched::default(), RunOptions::default());
+        assert!(pe.clean());
+        let pe = add("Peterson", "unique labels", pe.metrics);
+        let on = run(&OracleN::new(n), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+        assert!(on.clean());
+        let on = add("OracleN", "n", on.metrics);
+        let bn = run(
+            &BoundedN::new((n - 1).max(2), 2 * n - 1),
+            &ring,
+            &mut RoundRobinSched::default(),
+            RunOptions::default(),
+        );
+        assert!(bn.clean());
+        add("BoundedN", "m ≤ n ≤ M < 2m", bn.metrics);
+        let ak = crate::measure_ak(&ring, 1);
+        let ak = add("Ak(k=1)", "k", ak);
+        let bk = crate::measure_bk(&ring, 2);
+        let bk = add("Bk(k=2)", "k", bk);
+
+        // Shape: Peterson ≤ CR worst-case-ish in messages at larger n;
+        // time: CR/Peterson/OracleN are O(n); Bk slowest.
+        shape_ok &= on.time_units <= ak.time_units;
+        shape_ok &= ak.time_units < bk.time_units;
+        shape_ok &= pe.messages <= 4 * (n as u64) * ((n as u64).ilog2() as u64 + 2);
+        let _ = cr;
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nShape check (OracleN ≤ Ak ≤ Bk in time; Peterson O(n log n) in \
+         messages): {}\n\
+         Note: winners differ by design — CR/Peterson elect extremum labels, \
+         Ak/Bk/OracleN elect the Lyndon-word process.\n",
+        if shape_ok { "CONFIRMED" } else { "NOT CONFIRMED" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shape_confirmed() {
+        let r = super::report();
+        assert!(r.contains("messages): CONFIRMED"), "{r}");
+    }
+}

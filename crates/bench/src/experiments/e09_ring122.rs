@@ -1,0 +1,91 @@
+//! E9 — the paper's closing remark (§I): the ring `(1,2,2)`.
+//!
+//! "There are labeled rings (e.g., a ring of three processes with labels
+//! 1, 2, and 2) for which we can solve process-terminating leader
+//! election, whereas it cannot be solved in the model of \[4\], \[9\]."
+//!
+//! We verify: the ring is in `A ∩ K2` (so `Ak`/`Bk` with `k = 2` solve
+//! it), it is *not* fully identified (so Chang–Roberts / Peterson
+//! misbehave), and we sweep the whole family of 3-rings over two labels to
+//! map exactly which are solvable.
+
+use hre_analysis::Table;
+use hre_baselines::ChangRoberts;
+use hre_core::{Ak, Bk};
+use hre_ring::{catalog, classify, enumerate};
+use hre_sim::{run, RoundRobinSched, RunOptions};
+
+/// Runs the experiment and renders its report.
+pub fn report() -> String {
+    let mut out = String::new();
+    let ring = catalog::ring_122();
+    let c = classify(&ring);
+    out.push_str(&format!("ring (1,2,2): {c}\n\n"));
+
+    let ak = run(&Ak::new(2), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+    let bk = run(&Bk::new(2), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+    let cr = run(&ChangRoberts, &ring, &mut RoundRobinSched::default(), RunOptions::default());
+    out.push_str(&format!(
+        "Ak(k=2): clean={} leader={:?}   Bk(k=2): clean={} leader={:?}   \
+         ChangRoberts (needs unique labels): clean={}\n",
+        ak.clean(),
+        ak.leader,
+        bk.clean(),
+        bk.leader,
+        cr.clean(),
+    ));
+
+    // Map the whole n=3 landscape over labels {1,2}.
+    out.push_str("\nAll 3-process labelings over {1,2}:\n");
+    let mut t = Table::new(["labeling", "asymmetric", "U*", "Ak(k=2) clean", "elects true leader"]);
+    let mut solvable = 0;
+    for r in enumerate::all_labelings(3, 2) {
+        let cls = classify(&r);
+        let (clean, correct) = if cls.asymmetric {
+            let rep = run(&Ak::new(2), &r, &mut RoundRobinSched::default(), RunOptions::default());
+            (rep.clean(), rep.leader == cls.true_leader)
+        } else {
+            let rep = run(
+                &Ak::new(2),
+                &r,
+                &mut RoundRobinSched::default(),
+                RunOptions { max_actions: 50_000, ..Default::default() },
+            );
+            (rep.clean(), false)
+        };
+        if clean {
+            solvable += 1;
+        }
+        t.row([
+            format!("{r}"),
+            cls.asymmetric.to_string(),
+            cls.has_unique_label.to_string(),
+            clean.to_string(),
+            if cls.asymmetric { correct.to_string() } else { "n/a".into() },
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nsolvable labelings: {solvable} / 8 — exactly the asymmetric ones \
+         (symmetric rings are impossible for any algorithm, and Ak correctly \
+         never claims success there).\n\
+         The remark holds: (1,2,2) is solved with knowledge of k and \
+         orientation only: {}\n",
+        if ak.clean() && bk.clean() && ak.leader == Some(0) && bk.leader == Some(0) && !cr.clean() {
+            "CONFIRMED"
+        } else {
+            "NOT CONFIRMED"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn remark_confirmed() {
+        let r = super::report();
+        assert!(r.contains("orientation only: CONFIRMED"), "{r}");
+        assert!(r.contains("solvable labelings: 6 / 8"), "{r}");
+    }
+}

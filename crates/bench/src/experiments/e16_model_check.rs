@@ -1,0 +1,86 @@
+//! E16 — exhaustive model checking of small instances.
+//!
+//! The schedulers sample fair executions; here we instead enumerate
+//! **every** reachable configuration (all interleavings) of `Ak` and `Bk`
+//! on every canonical asymmetric ring of small size and verify, over the
+//! whole state space:
+//!
+//! * at most one leader in every reachable configuration (spec cond. 1);
+//! * `isLeader`/`done` never revoked along any edge (cond. 1/3);
+//! * no reachable deadlock (Lemmas 11–12 — now exhaustive, not sampled);
+//! * **confluence**: exactly one terminal configuration, all-halted — the
+//!   diamond property behind every scheduler-agreement test, proved by
+//!   enumeration on these instances.
+
+use hre_analysis::Table;
+use hre_core::{Ak, Bk};
+use hre_ring::enumerate::canonical_asymmetric_labelings_fast;
+use hre_sim::explore;
+
+const BUDGET: u64 = 3_000_000;
+
+/// Runs the experiment and renders its report (rings up to `n = 5`).
+pub fn report() -> String {
+    report_up_to(5)
+}
+
+/// The experiment body, parameterized by the largest ring size (the unit
+/// test uses 4 to stay fast in debug builds; the binary uses 5).
+pub fn report_up_to(max_n: usize) -> String {
+    let mut out = String::new();
+    let mut t = Table::new([
+        "n", "rings", "algo", "total configs", "max configs/ring", "terminal/ring", "verified",
+    ]);
+    let mut all_verified = true;
+
+    for n in 2..=max_n {
+        let rings = canonical_asymmetric_labelings_fast(n, 3);
+        for algo_name in ["Ak", "Bk"] {
+            let mut total = 0u64;
+            let mut max_configs = 0u64;
+            let mut ok = true;
+            let mut one_terminal = true;
+            for ring in &rings {
+                let k = ring.max_multiplicity().max(if algo_name == "Bk" { 2 } else { 1 });
+                let rep = if algo_name == "Ak" {
+                    explore(&Ak::new(k), ring, BUDGET)
+                } else {
+                    explore(&Bk::new(k), ring, BUDGET)
+                };
+                total += rep.configurations;
+                max_configs = max_configs.max(rep.configurations);
+                ok &= rep.verified();
+                one_terminal &= rep.terminal_configurations == 1;
+            }
+            all_verified &= ok;
+            t.row([
+                n.to_string(),
+                rings.len().to_string(),
+                algo_name.to_string(),
+                total.to_string(),
+                max_configs.to_string(),
+                if one_terminal { "1 (confluent)".into() } else { "≠1".to_string() },
+                ok.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nEvery reachable configuration of every canonical asymmetric ring \
+         (n ≤ {max_n}, ternary alphabet) is safe, deadlock-free, and confluent: {}\n\
+         (This upgrades the scheduler-sampling evidence of E10 to an \
+         exhaustive proof on these instances.)\n",
+        if all_verified { "VERIFIED" } else { "FAILED" }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exhaustive_verification_passes() {
+        // n <= 4 in the unit test (debug builds); the binary goes to 5.
+        let r = super::report_up_to(4);
+        assert!(r.contains("confluent: VERIFIED"), "{r}");
+    }
+}

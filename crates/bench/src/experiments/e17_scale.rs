@@ -1,0 +1,99 @@
+//! E17 — scale: the implementation at ring sizes far beyond the proof
+//! walk-throughs, confirming the asymptotic *shapes* (not just the bounds)
+//! of Theorems 2 and 4.
+//!
+//! * `Ak` time grows linearly in `n` at fixed `k` (slope `≈ 2k+1` time
+//!   units per process) and messages quadratically;
+//! * `Bk` time grows quadratically;
+//! * the measured growth *exponents* are estimated from successive
+//!   doublings: `log2(cost(2n)/cost(n))` should sit near 1 for linear and
+//!   near 2 for quadratic quantities.
+
+use crate::{measure_ak, measure_bk};
+use hre_analysis::Table;
+use hre_ring::generate::random_exact_multiplicity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED: u64 = 1717;
+
+/// Runs the experiment and renders its report. `max_n` lets the unit test
+/// stay small in debug builds; the binary uses 512.
+pub fn report_up_to(max_n: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("seed = {SEED}; k = 3; rings of exact multiplicity k\n\n"));
+    let mut rng = StdRng::seed_from_u64(SEED);
+
+    let mut sizes = vec![64usize];
+    while *sizes.last().unwrap() * 2 <= max_n {
+        let next = sizes.last().unwrap() * 2;
+        sizes.push(next);
+    }
+
+    let mut t = Table::new([
+        "n", "Ak time", "Ak msgs", "Bk time", "Bk msgs",
+    ]);
+    let mut ak_time = Vec::new();
+    let mut ak_msgs = Vec::new();
+    let mut bk_time = Vec::new();
+    for &n in &sizes {
+        let ring = random_exact_multiplicity(n, 3, &mut rng);
+        let a = measure_ak(&ring, 3);
+        // Bk is Θ(k²n²); cap it to keep the harness quick.
+        let (bt, bm) = if n <= max_n.min(256) {
+            let b = measure_bk(&ring, 3);
+            (b.time_units.to_string(), b.messages.to_string())
+        } else {
+            ("—".into(), "—".into())
+        };
+        if let Ok(v) = bt.parse::<u64>() {
+            bk_time.push(v as f64);
+        }
+        ak_time.push(a.time_units as f64);
+        ak_msgs.push(a.messages as f64);
+        t.row([
+            n.to_string(),
+            a.time_units.to_string(),
+            a.messages.to_string(),
+            bt,
+            bm,
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let exponent = |v: &[f64]| -> Vec<f64> {
+        v.windows(2).map(|w| (w[1] / w[0]).log2()).collect()
+    };
+    let fmt = |v: Vec<f64>| {
+        v.iter().map(|e| format!("{e:.2}")).collect::<Vec<_>>().join(", ")
+    };
+    let ak_t_exp = exponent(&ak_time);
+    let ak_m_exp = exponent(&ak_msgs);
+    let bk_t_exp = exponent(&bk_time);
+    let shapes_ok = ak_t_exp.iter().all(|&e| (e - 1.0).abs() < 0.25)
+        && ak_m_exp.iter().all(|&e| (e - 2.0).abs() < 0.25)
+        && bk_t_exp.iter().all(|&e| (e - 2.0).abs() < 0.35);
+    out.push_str(&format!(
+        "\ndoubling exponents — Ak time: [{}] (expect ≈1); Ak msgs: [{}] \
+         (expect ≈2); Bk time: [{}] (expect ≈2)\nasymptotic shapes: {}\n",
+        fmt(ak_t_exp),
+        fmt(ak_m_exp),
+        fmt(bk_t_exp),
+        if shapes_ok { "CONFIRMED" } else { "CHECK" }
+    ));
+    out
+}
+
+/// The binary entry point (`n` up to 512).
+pub fn report() -> String {
+    report_up_to(512)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shapes_confirmed_at_reduced_scale() {
+        let r = super::report_up_to(256);
+        assert!(r.contains("asymptotic shapes: CONFIRMED"), "{r}");
+    }
+}

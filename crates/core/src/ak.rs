@@ -1,0 +1,470 @@
+//! Algorithm `Ak` (paper Table 1): string growth + Lyndon-word election.
+//!
+//! Each process initiates a token carrying its label (action A1) and
+//! forwards every token it receives, appending the carried label to its
+//! local `string` (A2) — so `p.string` is always a prefix of `LLabels(p)`,
+//! the counter-clockwise label sequence starting at `p`. By Lemma 6, once
+//! `p.string` contains `2k+1` copies of some label, `srp(p.string)` (its
+//! smallest repeating prefix) is exactly `LLabels(p)_n`, so `p` knows the
+//! entire ring. The process whose `srp` is a Lyndon word is the **true
+//! leader**: it elects itself (A3) and sends `FINISH` around the ring; every
+//! other process learns the leader's label as the first letter of the
+//! Lyndon rotation of its own `srp` (A4). The leader swallows the still
+//! circulating tokens (A5) and halts when `FINISH` returns (A6).
+//!
+//! | Action | Guard                                            | Effect |
+//! |--------|--------------------------------------------------|--------|
+//! | A1     | `p.INIT`                                         | `string ← id`; send `⟨id⟩` |
+//! | A2     | `rcv ⟨x⟩ ∧ ¬Leader(string·x)`                    | append; forward `⟨x⟩` |
+//! | A3     | `rcv ⟨x⟩ ∧ Leader(string·x) ∧ ¬isLeader`         | append; elect self; send `⟨FINISH⟩` |
+//! | A4     | `rcv ⟨FINISH⟩ ∧ ¬isLeader`                       | `leader ← LW(srp(string))[1]`; forward; halt |
+//! | A5     | `rcv ⟨x⟩ ∧ isLeader`                             | (consume) |
+//! | A6     | `rcv ⟨FINISH⟩ ∧ isLeader`                        | halt |
+
+use hre_sim::{Algorithm, ElectionState, Outbox, ProcessBehavior, Reaction};
+use hre_words::{is_lyndon, least_rotation, srp, Label};
+use std::collections::BTreeMap;
+
+/// The message alphabet of `Ak`: label tokens and the `FINISH` marker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AkMsg {
+    /// `⟨x⟩` — a circulating label token.
+    Token(Label),
+    /// `⟨FINISH⟩` — the election is over.
+    Finish,
+}
+
+/// The paper's `Leader(σ)` predicate: `σ` contains at least `2k+1` copies
+/// of some label **and** `srp(σ)` is itself a Lyndon word (i.e.
+/// `srp(σ) = LW(srp(σ))`).
+pub fn leader_predicate(sigma: &[Label], k: usize) -> bool {
+    hre_words::has_label_with_count(sigma, 2 * k + 1) && is_lyndon(srp(sigma))
+}
+
+/// Factory for `Ak` processes. `k ≥ 1` is the a-priori bound on label
+/// multiplicity (the class parameter of `A ∩ Kk`).
+///
+/// ```
+/// use hre_core::Ak;
+/// use hre_ring::RingLabeling;
+/// use hre_sim::{run, RoundRobinSched, RunOptions};
+///
+/// let ring = RingLabeling::from_raw(&[1, 2, 2]); // asymmetric, in K2
+/// let rep = run(&Ak::new(2), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+/// assert!(rep.clean());
+/// assert_eq!(rep.leader, Some(0)); // the unique label-1 process
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Ak {
+    /// The multiplicity bound `k` known to every process.
+    pub k: usize,
+}
+
+impl Ak {
+    /// Creates the algorithm for a given multiplicity bound `k ≥ 1`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "Ak requires k >= 1");
+        Ak { k }
+    }
+}
+
+impl Algorithm for Ak {
+    type Proc = AkProc;
+
+    fn name(&self) -> String {
+        format!("Ak(k={})", self.k)
+    }
+
+    fn spawn(&self, label: Label) -> AkProc {
+        AkProc {
+            id: label,
+            k: self.k,
+            init: true,
+            string: Vec::new(),
+            counts: BTreeMap::new(),
+            max_count: 0,
+            determined_leader: None,
+            st: ElectionState::INITIAL,
+        }
+    }
+}
+
+/// One `Ak` process.
+///
+/// Beyond the paper's variables (`INIT`, `string`, `isLeader`, `leader`,
+/// `done`), the struct keeps incremental occurrence counts and a cached
+/// decision — pure evaluation caches for the `Leader` predicate that do not
+/// change the algorithm's behavior (and are excluded from the paper-formula
+/// space accounting, which charges for `string` itself).
+#[derive(Clone)]
+pub struct AkProc {
+    id: Label,
+    k: usize,
+    /// `p.INIT`.
+    init: bool,
+    /// `p.string` — the received prefix of `LLabels(p)`.
+    string: Vec<Label>,
+    /// Incremental occurrence counts over `string` (cache).
+    counts: BTreeMap<Label, usize>,
+    /// Largest count in `counts` (cache).
+    max_count: usize,
+    /// Once the `2k+1` threshold has been reached, the ring is determined
+    /// and the answer to `Leader` is frozen (cache): `Some(am_leader)`.
+    determined_leader: Option<bool>,
+    st: ElectionState,
+}
+
+impl AkProc {
+    /// The process's own label.
+    pub fn id(&self) -> Label {
+        self.id
+    }
+
+    /// Read access to `p.string` (for tests and analyses).
+    pub fn string(&self) -> &[Label] {
+        &self.string
+    }
+
+    fn push(&mut self, x: Label) {
+        self.string.push(x);
+        let c = self.counts.entry(x).or_insert(0);
+        *c += 1;
+        self.max_count = self.max_count.max(*c);
+    }
+
+    /// Evaluates `Leader(string)` after the candidate label has been
+    /// appended, caching the verdict once the ring is determined.
+    ///
+    /// Caching is sound: once some label has `2k+1` occurrences,
+    /// `srp(string)` is pinned to `LLabels(p)_n` (Lemmas 5–6) and further
+    /// appends of the periodic continuation cannot change it, so the
+    /// predicate's value is constant from then on.
+    fn leader_now(&mut self) -> bool {
+        if let Some(v) = self.determined_leader {
+            return v;
+        }
+        if self.max_count < 2 * self.k + 1 {
+            return false;
+        }
+        let v = is_lyndon(srp(&self.string));
+        self.determined_leader = Some(v);
+        v
+    }
+}
+
+impl hre_sim::StateKey for AkProc {
+    fn state_key(&self) -> String {
+        // Exact: the caches are functions of `string`, so the paper
+        // variables alone determine the behavior.
+        format!("{:?}/{}/{:?}/{:?}", self.id, self.init, self.string, self.st)
+    }
+}
+
+impl ProcessBehavior for AkProc {
+    type Msg = AkMsg;
+
+    /// Action A1.
+    fn on_start(&mut self, out: &mut Outbox<AkMsg>) {
+        debug_assert!(self.init);
+        self.init = false;
+        self.push(self.id);
+        out.send(AkMsg::Token(self.id));
+    }
+
+    fn on_msg(&mut self, msg: &AkMsg, out: &mut Outbox<AkMsg>) -> Reaction {
+        debug_assert!(!self.init, "the engine fires the initial action first");
+        debug_assert!(!self.st.halted, "no action fires after halting");
+        match (*msg, self.st.is_leader) {
+            // A5 — the leader swallows circulating tokens.
+            (AkMsg::Token(_), true) => Reaction::Consumed,
+            (AkMsg::Token(x), false) => {
+                self.push(x);
+                if self.leader_now() {
+                    // A3 — elect self, begin the finishing phase.
+                    self.st.is_leader = true;
+                    self.st.leader = Some(self.id);
+                    self.st.done = true;
+                    out.send(AkMsg::Finish);
+                } else {
+                    // A2 — keep growing, forward the token.
+                    out.send(AkMsg::Token(x));
+                }
+                Reaction::Consumed
+            }
+            // A4 — learn the leader's label, forward FINISH, halt.
+            (AkMsg::Finish, false) => {
+                let period = srp(&self.string);
+                debug_assert!(
+                    hre_words::is_primitive(period),
+                    "on A4 the string determines the (asymmetric) ring"
+                );
+                let start = least_rotation(period);
+                self.st.leader = Some(period[start]);
+                self.st.done = true;
+                out.send(AkMsg::Finish);
+                self.st.halted = true;
+                Reaction::Consumed
+            }
+            // A6 — the FINISH token came home; the leader halts.
+            (AkMsg::Finish, true) => {
+                self.st.halted = true;
+                Reaction::Consumed
+            }
+        }
+    }
+
+    fn election(&self) -> ElectionState {
+        self.st
+    }
+
+    /// The paper's accounting (proof of Theorem 2): `|string|·b + 2b + 3`
+    /// bits — the string, the `id` and `leader` labels, and three booleans.
+    fn space_bits(&self, label_bits: u32) -> u64 {
+        let b = label_bits as u64;
+        self.string.len() as u64 * b + 2 * b + 3
+    }
+
+    /// `⟨x⟩` carries one label plus a one-bit tag; `⟨FINISH⟩` is the tag
+    /// alone.
+    fn msg_wire_bits(&self, msg: &AkMsg, label_bits: u32) -> u64 {
+        match msg {
+            AkMsg::Token(_) => label_bits as u64 + 1,
+            AkMsg::Finish => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hre_ring::{catalog, enumerate, generate, RingLabeling};
+    use hre_sim::{
+        run, Adversary, AdversarialSched, RandomSched, RoundRobinSched, RunOptions, SyncSched,
+    };
+    use hre_words::labels;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn default_run(
+        ring: &RingLabeling,
+        k: usize,
+    ) -> hre_sim::RunReport<AkMsg> {
+        run(&Ak::new(k), ring, &mut RoundRobinSched::default(), RunOptions::default())
+    }
+
+    #[test]
+    fn leader_predicate_matches_paper_definition() {
+        // Ring AAB (A=10,B=11), k=2: LLabels(p2)=B A A B A A ... Lyndon
+        // rotation starts at the first A... p(i) is leader iff its LLabels_n
+        // is Lyndon. For labels [10,10,11]: LLabels(p0)=10,11,10 (not
+        // Lyndon); LLabels(p1)=10,10,11 (Lyndon) -> p1 is the true leader.
+        let ring = catalog::section4_aab_ring();
+        assert_eq!(ring.true_leader(), Some(1));
+        let k = 2;
+        // The prefix of LLabels(p1) with 2k+1 = 5 copies of label 10:
+        // 10,10,11,10,10,11,10,10 (length 8 has five 10s).
+        let sigma = ring.llabels(1, 8);
+        assert!(hre_words::has_label_with_count(&sigma, 5));
+        assert!(leader_predicate(&sigma, k));
+        // Same length at p0 is not a Lyndon srp.
+        let sigma0 = ring.llabels(0, 8);
+        assert!(!leader_predicate(&sigma0, k));
+        // Too short: threshold not reached, predicate false even for p1.
+        assert!(!leader_predicate(&ring.llabels(1, 6), k));
+    }
+
+    #[test]
+    fn elects_true_leader_on_figure1_ring() {
+        let ring = catalog::figure1_ring();
+        let rep = default_run(&ring, catalog::FIGURE1_K);
+        assert!(rep.clean(), "{:?} {:?}", rep.verdict, rep.violations);
+        assert_eq!(rep.leader, Some(catalog::FIGURE1_LEADER));
+    }
+
+    #[test]
+    fn elects_on_ring_122_with_k2() {
+        let rep = default_run(&catalog::ring_122(), 2);
+        assert!(rep.clean());
+        assert_eq!(rep.leader, Some(0));
+    }
+
+    #[test]
+    fn exhaustive_small_rings_all_schedulers() {
+        for n in 2..=5usize {
+            for ring in enumerate::asymmetric_labelings(n, 3) {
+                let k = ring.max_multiplicity();
+                let expected = ring.true_leader().unwrap();
+                let algo = Ak::new(k);
+                let reports = [
+                    run(&algo, &ring, &mut SyncSched, RunOptions::default()),
+                    run(&algo, &ring, &mut RoundRobinSched::default(), RunOptions::default()),
+                    run(&algo, &ring, &mut RandomSched::new(7), RunOptions::default()),
+                    run(
+                        &algo,
+                        &ring,
+                        &mut AdversarialSched { strategy: Adversary::Starve(expected) },
+                        RunOptions::default(),
+                    ),
+                ];
+                for rep in &reports {
+                    assert!(rep.clean(), "{ring:?} k={k} {:?} {:?}", rep.verdict, rep.violations);
+                    assert_eq!(rep.leader, Some(expected), "{ring:?}");
+                }
+                // confluence: identical metrics across schedulers
+                for rep in &reports[1..] {
+                    assert_eq!(rep.metrics.messages, reports[0].metrics.messages);
+                    assert_eq!(rep.metrics.time_units, reports[0].metrics.time_units);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overestimating_k_is_safe() {
+        // Ak must be correct for every ring in A ∩ Kk; a ring with actual
+        // multiplicity below k qualifies.
+        let ring = catalog::ring_122(); // multiplicity 2
+        for k in 2..=5 {
+            let rep = default_run(&ring, k);
+            assert!(rep.clean(), "k={k}");
+            assert_eq!(rep.leader, Some(0));
+        }
+    }
+
+    #[test]
+    fn k1_rings_with_k1() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in 2..=12 {
+            let ring = generate::random_k1(n, &mut rng);
+            let rep = default_run(&ring, 1);
+            assert!(rep.clean(), "{ring:?}");
+            assert_eq!(rep.leader, ring.true_leader());
+        }
+    }
+
+    #[test]
+    fn theorem2_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for &(n, k, a) in
+            &[(4usize, 2usize, 3u64), (6, 2, 3), (8, 3, 3), (10, 2, 5), (12, 4, 3)]
+        {
+            let ring = generate::random_a_inter_kk(n, k, a, &mut rng);
+            let b = ring.label_bits() as u64;
+            let rep = default_run(&ring, k);
+            assert!(rep.clean());
+            let m = &rep.metrics;
+            let (n64, k64) = (n as u64, k as u64);
+            assert!(
+                m.time_units <= (2 * k64 + 2) * n64,
+                "time {} > (2k+2)n = {} for n={n} k={k}",
+                m.time_units,
+                (2 * k64 + 2) * n64
+            );
+            assert!(
+                m.messages <= n64 * n64 * (2 * k64 + 1) + n64,
+                "messages {} over bound for n={n} k={k}",
+                m.messages
+            );
+            assert!(
+                m.peak_space_bits <= (2 * k64 + 1) * n64 * b + 2 * b + 3,
+                "space {} over bound for n={n} k={k} b={b}",
+                m.peak_space_bits
+            );
+        }
+    }
+
+    #[test]
+    fn string_stays_a_prefix_of_llabels() {
+        // White-box: drive a network manually and check p.string against
+        // LLabels(p) at the end.
+        use hre_sim::Network;
+        let ring = catalog::figure1_ring();
+        let algo = Ak::new(3);
+        let mut net: Network<AkProc> = Network::new(&algo, &ring);
+        let mut guard = 0;
+        while let Some(&i) = net.enabled_set().first() {
+            net.fire(i);
+            guard += 1;
+            assert!(guard < 1_000_000);
+        }
+        for i in 0..ring.n() {
+            let s = net.process(i).string();
+            let expect = ring.llabels(i, s.len());
+            assert_eq!(s, &expect[..], "process {i}");
+        }
+    }
+
+    #[test]
+    fn underestimating_k_can_break_the_election() {
+        // Lemma 1 in action: on the ring R_{n,k} built from a K1 base, Ak
+        // parameterized with too small a k elects *two* leaders (the paper's
+        // impossibility engine). This demonstrates Ak is NOT an algorithm
+        // for U* — consistent with Theorem 1.
+        let base = RingLabeling::new(labels(&[1, 2, 3]));
+        let big = generate::lemma1_ring(&base, 5); // multiplicity 5
+        let rep = default_run(&big, 1); // lies: k=1
+        assert!(!rep.clean(), "a too-small k must violate the spec");
+    }
+
+    #[test]
+    fn space_accounting_follows_paper_formula() {
+        let p = Ak::new(2).spawn(Label::new(3));
+        // empty string: 2b + 3
+        assert_eq!(p.space_bits(4), 2 * 4 + 3);
+        let mut p = p;
+        let mut out = Outbox::new();
+        p.on_start(&mut out);
+        assert_eq!(p.space_bits(4), 4 + 2 * 4 + 3); // |string| = 1
+        p.on_msg(&AkMsg::Token(Label::new(9)), &mut Outbox::new());
+        assert_eq!(p.space_bits(4), 2 * 4 + 2 * 4 + 3);
+    }
+
+    #[test]
+    fn wire_bits_account_tokens_and_finish() {
+        // On a clean run: wire_bits = tokens*(b+1) + finishes*1, with
+        // exactly n FINISH messages (one initiated + n-1 forwards).
+        let ring = catalog::figure1_ring();
+        let rep = run(
+            &Ak::new(3),
+            &ring,
+            &mut RoundRobinSched::default(),
+            RunOptions { record_trace: true, ..Default::default() },
+        );
+        assert!(rep.clean());
+        let trace = rep.trace.unwrap();
+        let b = ring.label_bits() as u64;
+        let mut expect = 0u64;
+        let mut finishes = 0u64;
+        for p in 0..ring.n() {
+            for m in trace.sent_stream(p) {
+                expect += match m {
+                    AkMsg::Token(_) => b + 1,
+                    AkMsg::Finish => {
+                        finishes += 1;
+                        1
+                    }
+                };
+            }
+        }
+        assert_eq!(rep.metrics.wire_bits, expect);
+        assert_eq!(finishes, ring.n() as u64);
+    }
+
+    #[test]
+    fn tokens_preserved_until_leader_consumes() {
+        // Every token sent is either forwarded or consumed by the leader or
+        // trailing behind FINISH; conservation: total received = total sent
+        // at completion.
+        let ring = catalog::figure1_ring();
+        let rep = run(
+            &Ak::new(3),
+            &ring,
+            &mut RandomSched::new(5),
+            RunOptions { record_trace: true, ..Default::default() },
+        );
+        assert!(rep.clean());
+        let trace = rep.trace.unwrap();
+        let received: u64 = (0..ring.n()).map(|i| trace.received_stream(i).len() as u64).sum();
+        assert_eq!(received, rep.metrics.messages);
+    }
+}

@@ -1,0 +1,34 @@
+//! # hre-core — the paper's two leader-election algorithms
+//!
+//! Faithful implementations of the two process-terminating leader-election
+//! algorithms of *"Leader Election in Asymmetric Labeled Unidirectional
+//! Rings"* (Altisen, Datta, Devismes, Durand, Larmore — IPDPS 2017), both
+//! solving the class `A ∩ Kk` (asymmetric rings with label multiplicity at
+//! most `k`), with processes knowing `k` but **not** `n` nor any bound on it:
+//!
+//! * [`Ak`] (Table 1 of the paper) — every process accumulates the stream of
+//!   labels circulating on the ring until some label has been seen `2k+1`
+//!   times, at which point the ring is fully determined (paper Lemma 6) and
+//!   the *true leader* — the process whose counter-clockwise label sequence
+//!   is a Lyndon word — announces itself. Time ≤ `(2k+2)n`, messages
+//!   ≤ `n²(2k+1) + n`, space `O(knb)` bits per process.
+//!
+//! * [`Bk`] (Table 2, Figure 2) — phase-based deactivation computing the
+//!   lexicographic minimum label-sequence step by step with `O(1)` labels of
+//!   state per process: time and messages `O(k²n²)`, space
+//!   `2⌈log k⌉ + 3b + 5` bits. Requires `k ≥ 2`.
+//!
+//! Both elect the same process — the true leader — and both are
+//! *process-terminating*: every process eventually halts knowing the
+//! leader's label.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ak;
+pub mod ak_reference;
+pub mod bk;
+
+pub use ak::{leader_predicate, Ak, AkMsg, AkProc};
+pub use ak_reference::{leader_predicate_naive, AkReference, AkReferenceProc};
+pub use bk::{Bk, BkAction, BkMsg, BkProc, BkState};

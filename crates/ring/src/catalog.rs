@@ -1,0 +1,63 @@
+//! Named rings from the paper, used by tests, examples, and the
+//! figure-reproduction experiments.
+
+use crate::RingLabeling;
+
+/// The ring of **Figure 1**: 8 processes, labels
+/// `p0..p7 = 1,3,1,3,2,2,1,2`, `k = 3`; the paper walks `Bk` through four
+/// phases and elects `p0`.
+pub fn figure1_ring() -> RingLabeling {
+    RingLabeling::from_raw(&[1, 3, 1, 3, 2, 2, 1, 2])
+}
+
+/// `k` for the Figure 1 walk-through.
+pub const FIGURE1_K: usize = 3;
+
+/// Index of the process Figure 1 elects.
+pub const FIGURE1_LEADER: usize = 0;
+
+/// The ring of the paper's closing remark in Section I: three processes
+/// with labels `1, 2, 2` — solvable by `Ak`/`Bk` (with `k = 2`) although it
+/// is out of reach for the models of Dobrev–Pelc and Delporte et al.
+pub fn ring_122() -> RingLabeling {
+    RingLabeling::from_raw(&[1, 2, 2])
+}
+
+/// The Section IV example: three processes with `p0.id = p1.id = A` and
+/// `p2.id = B` (encoded `A = 10`, `B = 11`), for which
+/// `LLabels(p0) = A B A A B A …`.
+pub fn section4_aab_ring() -> RingLabeling {
+    RingLabeling::from_raw(&[10, 10, 11])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_ring_matches_paper_classification() {
+        let r = figure1_ring();
+        assert_eq!(r.n(), 8);
+        assert!(r.is_asymmetric());
+        assert!(r.in_kk(FIGURE1_K));
+        assert_eq!(r.max_multiplicity(), 3);
+        assert_eq!(r.true_leader(), Some(FIGURE1_LEADER));
+    }
+
+    #[test]
+    fn ring_122_is_in_a_inter_k2() {
+        let r = ring_122();
+        assert!(r.is_asymmetric());
+        assert!(r.in_kk(2));
+        assert!(r.in_ustar());
+        // the true leader is the unique process labeled 1
+        assert_eq!(r.true_leader(), Some(0));
+    }
+
+    #[test]
+    fn section4_llabels_example() {
+        let r = section4_aab_ring();
+        let seq: Vec<u64> = r.llabels(0, 6).iter().map(|l| l.raw()).collect();
+        assert_eq!(seq, vec![10, 11, 10, 10, 11, 10]); // A B A A B A
+    }
+}

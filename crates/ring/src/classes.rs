@@ -1,0 +1,138 @@
+//! Class membership reporting for the paper's ring classes.
+//!
+//! The paper studies the classes `A` (asymmetric), `Kk` (every label occurs
+//! at most `k` times) and `U*` (some label occurs exactly once), with
+//! `K1 ⊆ U* ⊆ A`. [`classify`] computes the full membership picture of a
+//! labeling at once.
+
+use crate::RingLabeling;
+use std::fmt;
+
+/// Full class-membership report for one labeling.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassReport {
+    /// Number of processes.
+    pub n: usize,
+    /// Number of distinct labels `|L|`.
+    pub distinct_labels: usize,
+    /// Largest label multiplicity; the ring is in `Kk` iff `k ≥` this.
+    pub max_multiplicity: usize,
+    /// `R ∈ A`: asymmetric (primitive labeling).
+    pub asymmetric: bool,
+    /// `R ∈ U*`: at least one unique label.
+    pub has_unique_label: bool,
+    /// Index of the true leader if the ring is asymmetric.
+    pub true_leader: Option<usize>,
+    /// Bits per label (`b` in the paper's space bounds).
+    pub label_bits: u32,
+}
+
+impl ClassReport {
+    /// `R ∈ Kk`?
+    pub fn in_kk(&self, k: usize) -> bool {
+        self.max_multiplicity <= k
+    }
+
+    /// `R ∈ A ∩ Kk` — the class both algorithms solve, for this `k`?
+    pub fn in_a_inter_kk(&self, k: usize) -> bool {
+        self.asymmetric && self.in_kk(k)
+    }
+
+    /// `R ∈ U* ∩ Kk` — the class of the lower bound (Lemma 1)?
+    pub fn in_ustar_inter_kk(&self, k: usize) -> bool {
+        self.has_unique_label && self.in_kk(k)
+    }
+
+    /// `R ∈ K1`: fully identified ring.
+    pub fn fully_identified(&self) -> bool {
+        self.max_multiplicity <= 1
+    }
+
+    /// Smallest `k` such that `R ∈ Kk` (i.e. the actual multiplicity).
+    pub fn minimal_k(&self) -> usize {
+        self.max_multiplicity
+    }
+}
+
+impl fmt::Display for ClassReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} |L|={} mlty={} A={} U*={} leader={:?} b={}",
+            self.n,
+            self.distinct_labels,
+            self.max_multiplicity,
+            self.asymmetric,
+            self.has_unique_label,
+            self.true_leader,
+            self.label_bits
+        )
+    }
+}
+
+/// Computes the [`ClassReport`] of a labeling.
+pub fn classify(ring: &RingLabeling) -> ClassReport {
+    ClassReport {
+        n: ring.n(),
+        distinct_labels: ring.multiplicity_map().len(),
+        max_multiplicity: ring.max_multiplicity(),
+        asymmetric: ring.is_asymmetric(),
+        has_unique_label: ring.in_ustar(),
+        true_leader: ring.true_leader(),
+        label_bits: ring.label_bits(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inclusion_chain_k1_ustar_a() {
+        // On every enumerated small ring: K1 ⊆ U* ⊆ A.
+        for n in 2..=7usize {
+            for ring in crate::enumerate::all_labelings(n, 3) {
+                let c = classify(&ring);
+                if c.fully_identified() {
+                    assert!(c.has_unique_label, "{ring:?}");
+                }
+                if c.has_unique_label {
+                    assert!(c.asymmetric, "{ring:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_report() {
+        let r = RingLabeling::from_raw(&[1, 3, 1, 3, 2, 2, 1, 2]);
+        let c = classify(&r);
+        assert_eq!(c.n, 8);
+        assert_eq!(c.distinct_labels, 3);
+        assert_eq!(c.max_multiplicity, 3);
+        assert!(c.asymmetric);
+        assert!(!c.has_unique_label);
+        assert_eq!(c.true_leader, Some(0));
+        assert!(c.in_a_inter_kk(3));
+        assert!(!c.in_a_inter_kk(2));
+        assert!(!c.in_ustar_inter_kk(3));
+        assert_eq!(c.minimal_k(), 3);
+    }
+
+    #[test]
+    fn symmetric_ring_report() {
+        let c = classify(&RingLabeling::from_raw(&[1, 2, 1, 2]));
+        assert!(!c.asymmetric);
+        assert!(!c.has_unique_label);
+        assert_eq!(c.true_leader, None);
+        assert!(!c.in_a_inter_kk(5));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = classify(&RingLabeling::from_raw(&[1, 2, 2]));
+        let s = format!("{c}");
+        assert!(s.contains("n=3"));
+        assert!(s.contains("U*=true"));
+    }
+}

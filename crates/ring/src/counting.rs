@@ -1,0 +1,136 @@
+//! Closed-form counting of labelings, cross-checking the brute-force
+//! enumeration — and giving the exhaustive tests an independent oracle for
+//! "did we really enumerate them all?".
+//!
+//! * primitive (= asymmetric) words of length `n` over `a` letters:
+//!   `P(n, a) = Σ_{d | n} μ(d) · a^{n/d}` (Möbius inversion);
+//! * aperiodic necklaces (rotation classes of asymmetric labelings):
+//!   `P(n, a) / n` (Moreau's formula) — one canonical ring each.
+
+/// The Möbius function `μ(n)` for `n ≥ 1`.
+pub fn moebius(n: u64) -> i64 {
+    assert!(n >= 1);
+    let mut n = n;
+    let mut primes = 0;
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            n /= d;
+            if n % d == 0 {
+                return 0; // squared factor
+            }
+            primes += 1;
+        }
+        d += 1;
+    }
+    if n > 1 {
+        primes += 1;
+    }
+    if primes % 2 == 0 {
+        1
+    } else {
+        -1
+    }
+}
+
+/// Divisors of `n`, ascending.
+pub fn divisors(n: u64) -> Vec<u64> {
+    assert!(n >= 1);
+    let mut out: Vec<u64> = (1..=n).filter(|d| n % d == 0).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Number of **primitive** (asymmetric) words of length `n` over an
+/// alphabet of `a` letters: `Σ_{d|n} μ(d)·a^{n/d}`.
+pub fn primitive_word_count(n: u64, a: u64) -> u64 {
+    assert!(n >= 1 && a >= 1);
+    let total: i128 = divisors(n)
+        .into_iter()
+        .map(|d| moebius(d) as i128 * (a as i128).pow((n / d) as u32))
+        .sum();
+    assert!(total >= 0);
+    total as u64
+}
+
+/// Number of aperiodic necklaces (asymmetric rings up to rotation) of
+/// length `n` over `a` letters — Moreau's formula `P(n,a)/n`. Equals the
+/// number of Lyndon words of that length and alphabet.
+///
+/// ```
+/// use hre_ring::counting::aperiodic_necklace_count;
+/// assert_eq!(aperiodic_necklace_count(6, 2), 9);  // 9 binary Lyndon words of length 6
+/// assert_eq!(aperiodic_necklace_count(8, 2), 30);
+/// ```
+pub fn aperiodic_necklace_count(n: u64, a: u64) -> u64 {
+    let p = primitive_word_count(n, a);
+    debug_assert_eq!(p % n, 0, "P(n,a) is always divisible by n");
+    p / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{asymmetric_labelings, canonical_asymmetric_labelings};
+
+    #[test]
+    fn moebius_classic_values() {
+        let expect = [1i64, -1, -1, 0, -1, 1, -1, 0, 0, 1, -1, 0];
+        for (i, &m) in expect.iter().enumerate() {
+            assert_eq!(moebius(i as u64 + 1), m, "mu({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn divisors_basic() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(7), vec![1, 7]);
+        assert_eq!(divisors(1), vec![1]);
+    }
+
+    #[test]
+    fn primitive_counts_match_brute_force() {
+        for n in 1..=8u64 {
+            for a in 1..=3u64 {
+                let brute = if n == 1 {
+                    a // single letters are primitive
+                } else {
+                    asymmetric_labelings(n as usize, a).len() as u64
+                };
+                assert_eq!(primitive_word_count(n, a), brute, "n={n} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn necklace_counts_match_canonical_enumeration() {
+        for n in 2..=7u64 {
+            for a in 2..=3u64 {
+                assert_eq!(
+                    aperiodic_necklace_count(n, a),
+                    canonical_asymmetric_labelings(n as usize, a).len() as u64,
+                    "n={n} a={a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_lyndon_counts() {
+        // Binary Lyndon words: 2,1,2,3,6,9,18,30 for n=1..8.
+        let expect = [2u64, 1, 2, 3, 6, 9, 18, 30];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(aperiodic_necklace_count(i as u64 + 1, 2), e, "n={}", i + 1);
+        }
+    }
+
+    #[test]
+    fn prime_length_special_case() {
+        // For prime n: P(n,a) = a^n - a.
+        for &n in &[2u64, 3, 5, 7, 11] {
+            for a in 2..=4u64 {
+                assert_eq!(primitive_word_count(n, a), a.pow(n as u32) - a);
+            }
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Exhaustive enumeration of small labelings, for brute-force validation.
+//!
+//! The correctness tests run the algorithms on **every** labeling of small
+//! rings (all asymmetric labelings of `n ≤ 7` over small alphabets), not
+//! just sampled ones; this module produces those families.
+
+use crate::RingLabeling;
+
+/// Iterator over **all** labelings of length `n` over the alphabet
+/// `{0, …, alphabet−1}` (as raw label values). There are `alphabet^n` of
+/// them; keep `n`/`alphabet` small.
+pub fn all_labelings(n: usize, alphabet: u64) -> impl Iterator<Item = RingLabeling> {
+    assert!(n >= 2);
+    assert!(alphabet >= 1);
+    let total = (alphabet as u128).pow(n as u32);
+    (0..total).map(move |mut code| {
+        let mut raw = Vec::with_capacity(n);
+        for _ in 0..n {
+            raw.push((code % alphabet as u128) as u64);
+            code /= alphabet as u128;
+        }
+        RingLabeling::from_raw(&raw)
+    })
+}
+
+/// All **asymmetric** labelings of length `n` over `{0, …, alphabet−1}`.
+pub fn asymmetric_labelings(n: usize, alphabet: u64) -> Vec<RingLabeling> {
+    all_labelings(n, alphabet).filter(|r| r.is_asymmetric()).collect()
+}
+
+/// All asymmetric labelings in `Kk` of length `n` over `{0, …, alphabet−1}`
+/// — the class `A ∩ Kk` restricted to this finite family.
+pub fn a_inter_kk_labelings(n: usize, alphabet: u64, k: usize) -> Vec<RingLabeling> {
+    all_labelings(n, alphabet)
+        .filter(|r| r.is_asymmetric() && r.in_kk(k))
+        .collect()
+}
+
+/// One canonical representative per rotation class (necklace): labelings
+/// whose label vector is the lexicographically least among its rotations.
+/// Running an algorithm on one representative per class covers all rings up
+/// to re-indexing.
+pub fn canonical_asymmetric_labelings(n: usize, alphabet: u64) -> Vec<RingLabeling> {
+    all_labelings(n, alphabet)
+        .filter(|r| {
+            r.is_asymmetric() && hre_words::least_rotation(r.labels()) == 0
+        })
+        .collect()
+}
+
+/// Fast canonical enumeration: the canonical representative of each
+/// asymmetric rotation class is exactly a **Lyndon word** (a primitive
+/// word equal to its least rotation), so Duval's generation algorithm
+/// produces them directly in `O(1)` amortized per ring — no `a^n` filter
+/// pass. Equivalent to [`canonical_asymmetric_labelings`] (tested), but
+/// usable at sizes where the brute-force filter is hopeless.
+pub fn canonical_asymmetric_labelings_fast(n: usize, alphabet: u8) -> Vec<RingLabeling> {
+    assert!(n >= 2);
+    hre_words::lyndon_words_of_length(n, alphabet)
+        .into_iter()
+        .map(|w| RingLabeling::from_raw(&w.iter().map(|&x| x as u64).collect::<Vec<_>>()))
+        .collect()
+}
+
+/// All permutations of `{0, …, n−1}` as `K1` labelings (fully identified
+/// rings). `n!` of them; keep `n ≤ 7`.
+pub fn all_k1_labelings(n: usize) -> Vec<RingLabeling> {
+    assert!(n >= 2 && n <= 9, "n! blows up");
+    let mut out = Vec::new();
+    let mut perm: Vec<u64> = (0..n as u64).collect();
+    heap_permutations(&mut perm, n, &mut out);
+    out
+}
+
+fn heap_permutations(perm: &mut Vec<u64>, k: usize, out: &mut Vec<RingLabeling>) {
+    if k == 1 {
+        out.push(RingLabeling::from_raw(perm));
+        return;
+    }
+    for i in 0..k {
+        heap_permutations(perm, k - 1, out);
+        if k % 2 == 0 {
+            perm.swap(i, k - 1);
+        } else {
+            perm.swap(0, k - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formulas() {
+        assert_eq!(all_labelings(2, 2).count(), 4);
+        assert_eq!(all_labelings(3, 3).count(), 27);
+        assert_eq!(all_labelings(4, 2).count(), 16);
+    }
+
+    #[test]
+    fn asymmetric_counts_small() {
+        // Binary strings of length 2: 00,01,10,11 -> asymmetric: 01,10.
+        assert_eq!(asymmetric_labelings(2, 2).len(), 2);
+        // Binary length 3: all but 000 and 111 are primitive: 6.
+        assert_eq!(asymmetric_labelings(3, 2).len(), 6);
+        // Binary length 4: 16 - (0000,1111,0101,1010) = 12.
+        assert_eq!(asymmetric_labelings(4, 2).len(), 12);
+    }
+
+    #[test]
+    fn canonical_representatives_partition_rotation_classes() {
+        // Number of canonical asymmetric labelings x n = number of
+        // asymmetric labelings (each class has exactly n distinct rotations).
+        for n in 2..=6usize {
+            for a in 2..=3u64 {
+                let all = asymmetric_labelings(n, a).len();
+                let canon = canonical_asymmetric_labelings(n, a).len();
+                assert_eq!(canon * n, all, "n={n} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_representative_starts_at_true_leader() {
+        // The least rotation is the Lyndon rotation of the *clockwise*
+        // vector; independent check: every canonical labeling is asymmetric
+        // and has a well-defined true leader.
+        for r in canonical_asymmetric_labelings(5, 2) {
+            assert!(r.true_leader().is_some());
+        }
+    }
+
+    #[test]
+    fn fast_canonical_enumeration_matches_filter_enumeration() {
+        for n in 2..=7usize {
+            for a in 2..=3u8 {
+                let mut slow = canonical_asymmetric_labelings(n, a as u64);
+                let mut fast = canonical_asymmetric_labelings_fast(n, a);
+                let key = |r: &RingLabeling| {
+                    r.labels().iter().map(|l| l.raw()).collect::<Vec<_>>()
+                };
+                slow.sort_by_key(|r| key(r));
+                fast.sort_by_key(|r| key(r));
+                assert_eq!(slow, fast, "n={n} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_enumeration_counts_match_moreau_formula() {
+        for n in 2..=12usize {
+            for a in 2..=3u8 {
+                assert_eq!(
+                    canonical_asymmetric_labelings_fast(n, a).len() as u64,
+                    crate::counting::aperiodic_necklace_count(n as u64, a as u64),
+                    "n={n} a={a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k1_enumeration_is_all_permutations() {
+        let rings = all_k1_labelings(4);
+        assert_eq!(rings.len(), 24);
+        for r in &rings {
+            assert!(r.all_distinct());
+        }
+        // all distinct labelings
+        let mut raws: Vec<Vec<u64>> = rings
+            .iter()
+            .map(|r| r.labels().iter().map(|l| l.raw()).collect())
+            .collect();
+        raws.sort();
+        raws.dedup();
+        assert_eq!(raws.len(), 24);
+    }
+
+    #[test]
+    fn a_inter_kk_respects_both_constraints() {
+        for r in a_inter_kk_labelings(5, 3, 2) {
+            assert!(r.is_asymmetric());
+            assert!(r.in_kk(2));
+        }
+        // k = n imposes nothing beyond asymmetry
+        assert_eq!(
+            a_inter_kk_labelings(4, 2, 4).len(),
+            asymmetric_labelings(4, 2).len()
+        );
+    }
+}

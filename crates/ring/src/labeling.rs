@@ -1,0 +1,302 @@
+//! The [`RingLabeling`] type and the paper's derived notions.
+
+use hre_words::{
+    is_lyndon, is_primitive, max_multiplicity, multiplicities, rotate_left, Label,
+};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a labeling could not be constructed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingError {
+    /// Fewer than two labels (the paper assumes `n ≥ 2`).
+    TooShort,
+}
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::TooShort => write!(f, "a ring needs at least two processes"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// A labeling of a unidirectional ring of `n ≥ 2` processes.
+///
+/// Index `i` is process `p(i)`; messages flow from `p(i)` to `p(i+1)`
+/// (indices mod `n`), so `p(i)` *receives* from `p(i−1)`.
+///
+/// ```
+/// use hre_ring::RingLabeling;
+/// // The paper's Figure 1 ring.
+/// let ring = RingLabeling::from_raw(&[1, 3, 1, 3, 2, 2, 1, 2]);
+/// assert!(ring.is_asymmetric());
+/// assert_eq!(ring.max_multiplicity(), 3); // in K3, not in K2
+/// assert!(!ring.in_ustar());              // no unique label
+/// assert_eq!(ring.true_leader(), Some(0)); // the Lyndon-word process
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RingLabeling {
+    labels: Vec<Label>,
+}
+
+impl RingLabeling {
+    /// Creates a labeling. Panics if `labels.len() < 2` (the paper assumes
+    /// `n ≥ 2`); see [`Self::try_new`] for the fallible form.
+    pub fn new(labels: Vec<Label>) -> Self {
+        Self::try_new(labels).expect("the paper assumes rings of n >= 2 processes")
+    }
+
+    /// Fallible constructor for untrusted input (e.g. the CLI).
+    pub fn try_new(labels: Vec<Label>) -> Result<Self, RingError> {
+        if labels.len() < 2 {
+            return Err(RingError::TooShort);
+        }
+        Ok(RingLabeling { labels })
+    }
+
+    /// Creates a labeling from raw `u64` label values.
+    pub fn from_raw(raw: &[u64]) -> Self {
+        Self::new(raw.iter().copied().map(Label::new).collect())
+    }
+
+    /// Number of processes `n`.
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Label of process `i` (`i` taken mod `n`).
+    pub fn label(&self, i: usize) -> Label {
+        self.labels[i % self.n()]
+    }
+
+    /// All labels, in process order `p0 … p(n−1)`.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// `b`: number of bits required to store any label of this ring
+    /// (the paper's space bounds are stated in terms of `b`).
+    pub fn label_bits(&self) -> u32 {
+        self.labels.iter().map(|l| l.bits()).max().unwrap_or(1)
+    }
+
+    /// The prefix of length `m` of `LLabels(p(i))`: the labels starting at
+    /// `p(i)` and continuing **counter-clockwise** (against message flow),
+    /// i.e. `id(i), id(i−1), id(i−2), …` with indices mod `n`.
+    ///
+    /// This is exactly the sequence process `p(i)` observes in Algorithm
+    /// `Ak`: its own label followed by the labels its predecessor relays.
+    pub fn llabels(&self, i: usize, m: usize) -> Vec<Label> {
+        let n = self.n();
+        (0..m).map(|j| self.labels[(i + n - (j % n)) % n]).collect()
+    }
+
+    /// `LLabels(p(i))_n`: one full counter-clockwise turn starting at `p(i)`.
+    pub fn llabels_n(&self, i: usize) -> Vec<Label> {
+        self.llabels(i, self.n())
+    }
+
+    /// Multiplicity `mlty[ℓ]` of a label: how many processes carry it.
+    pub fn multiplicity(&self, l: Label) -> usize {
+        self.labels.iter().filter(|&&x| x == l).count()
+    }
+
+    /// Multiplicity of every label present.
+    pub fn multiplicity_map(&self) -> BTreeMap<Label, usize> {
+        multiplicities(&self.labels)
+    }
+
+    /// Largest multiplicity of any label. The ring is in class `Kk` iff
+    /// this is ≤ `k`.
+    pub fn max_multiplicity(&self) -> usize {
+        max_multiplicity(&self.labels)
+    }
+
+    /// `R ∈ Kk`?
+    pub fn in_kk(&self, k: usize) -> bool {
+        self.max_multiplicity() <= k
+    }
+
+    /// `R ∈ U*`: does at least one label occur exactly once?
+    pub fn in_ustar(&self) -> bool {
+        self.multiplicity_map().values().any(|&c| c == 1)
+    }
+
+    /// `R ∈ A`: is the labeling asymmetric (no non-trivial rotational
+    /// symmetry)? Equivalent to primitivity of the label sequence.
+    pub fn is_asymmetric(&self) -> bool {
+        is_primitive(&self.labels)
+    }
+
+    /// `R ∈ K1`: are all labels distinct?
+    pub fn all_distinct(&self) -> bool {
+        self.max_multiplicity() <= 1
+    }
+
+    /// Index of the **true leader**: the unique process `L` such that
+    /// `LLabels(L)_n` is a Lyndon word. Defined only for asymmetric rings;
+    /// returns `None` otherwise.
+    pub fn true_leader(&self) -> Option<usize> {
+        if !self.is_asymmetric() {
+            return None;
+        }
+        let idx = (0..self.n()).find(|&i| is_lyndon(&self.llabels_n(i)));
+        debug_assert!(idx.is_some(), "a primitive word has exactly one Lyndon rotation");
+        idx
+    }
+
+    /// Label of the true leader (see [`Self::true_leader`]).
+    pub fn true_leader_label(&self) -> Option<Label> {
+        self.true_leader().map(|i| self.label(i))
+    }
+
+    /// The labeling rotated so that process `d` becomes process 0; the ring
+    /// is the same network, re-indexed.
+    pub fn rotated(&self, d: usize) -> RingLabeling {
+        RingLabeling::new(rotate_left(&self.labels, d))
+    }
+}
+
+impl fmt::Debug for RingLabeling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Ring[")?;
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for RingLabeling {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(raw: &[u64]) -> RingLabeling {
+        RingLabeling::from_raw(raw)
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn rejects_singleton() {
+        ring(&[1]);
+    }
+
+    #[test]
+    fn try_new_is_fallible() {
+        assert_eq!(
+            RingLabeling::try_new(vec![Label::new(1)]).unwrap_err(),
+            RingError::TooShort
+        );
+        assert!(RingLabeling::try_new(vec![Label::new(1), Label::new(2)]).is_ok());
+        assert_eq!(format!("{}", RingError::TooShort), "a ring needs at least two processes");
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let r = ring(&[1, 3, 1, 3, 2, 2, 1, 2]);
+        assert_eq!(r.n(), 8);
+        assert_eq!(r.label(0), Label::new(1));
+        assert_eq!(r.label(9), Label::new(3)); // mod n
+        assert_eq!(r.label_bits(), 2);
+    }
+
+    #[test]
+    fn llabels_runs_counter_clockwise() {
+        // Paper Section IV example: p0.id = p1.id = A(=10), p2.id = B(=11);
+        // LLabels(p0) = A B A A B A …
+        let r = ring(&[10, 10, 11]);
+        let seq: Vec<u64> = r.llabels(0, 6).iter().map(|l| l.raw()).collect();
+        assert_eq!(seq, vec![10, 11, 10, 10, 11, 10]);
+    }
+
+    #[test]
+    fn llabels_n_is_one_turn() {
+        let r = ring(&[1, 2, 3, 4]);
+        let seq: Vec<u64> = r.llabels_n(2).iter().map(|l| l.raw()).collect();
+        assert_eq!(seq, vec![3, 2, 1, 4]);
+    }
+
+    #[test]
+    fn multiplicity_and_classes() {
+        let r = ring(&[1, 3, 1, 3, 2, 2, 1, 2]); // Fig. 1 ring
+        assert_eq!(r.multiplicity(Label::new(1)), 3);
+        assert_eq!(r.multiplicity(Label::new(2)), 3);
+        assert_eq!(r.multiplicity(Label::new(3)), 2);
+        assert_eq!(r.multiplicity(Label::new(9)), 0);
+        assert_eq!(r.max_multiplicity(), 3);
+        assert!(r.in_kk(3));
+        assert!(!r.in_kk(2));
+        assert!(!r.in_ustar()); // no unique label in the Fig. 1 ring
+        assert!(r.is_asymmetric());
+        assert!(!r.all_distinct());
+    }
+
+    #[test]
+    fn ring_122_classification() {
+        // The paper's closing remark: ring (1,2,2) is solvable here.
+        let r = ring(&[1, 2, 2]);
+        assert!(r.is_asymmetric());
+        assert!(r.in_kk(2));
+        assert!(r.in_ustar()); // label 1 is unique
+    }
+
+    #[test]
+    fn symmetric_ring_detected() {
+        let r = ring(&[1, 2, 1, 2]);
+        assert!(!r.is_asymmetric());
+        assert_eq!(r.true_leader(), None);
+    }
+
+    #[test]
+    fn figure1_true_leader_is_p0() {
+        let r = ring(&[1, 3, 1, 3, 2, 2, 1, 2]);
+        assert_eq!(r.true_leader(), Some(0));
+        assert_eq!(r.true_leader_label(), Some(Label::new(1)));
+    }
+
+    #[test]
+    fn true_leader_unique_and_lyndon() {
+        let r = ring(&[5, 1, 4, 1, 3]);
+        let l = r.true_leader().unwrap();
+        assert!(is_lyndon(&r.llabels_n(l)));
+        for i in 0..r.n() {
+            if i != l {
+                assert!(!is_lyndon(&r.llabels_n(i)));
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_true_leader_label() {
+        let r = ring(&[7, 2, 9, 2, 5]);
+        let label = r.true_leader_label().unwrap();
+        for d in 0..r.n() {
+            assert_eq!(r.rotated(d).true_leader_label(), Some(label));
+        }
+    }
+
+    #[test]
+    fn k1_ring_has_unique_labels_and_is_asymmetric() {
+        let r = ring(&[4, 1, 3, 2]);
+        assert!(r.all_distinct());
+        assert!(r.in_ustar());
+        assert!(r.is_asymmetric()); // K1 ⊆ U* ⊆ A
+    }
+
+    #[test]
+    fn display_compact() {
+        assert_eq!(format!("{}", ring(&[1, 2, 2])), "Ring[1,2,2]");
+    }
+}

@@ -1,0 +1,33 @@
+//! # hre-ring — labeled unidirectional ring networks
+//!
+//! The network substrate of the IPDPS 2017 reproduction: a ring of `n ≥ 2`
+//! processes `p0 … p(n−1)` where `p(i)` receives from `p(i−1)` and sends to
+//! `p(i+1)` (indices mod `n`), each carrying a [`Label`](hre_words::Label)
+//! that need not be unique ("homonym processes").
+//!
+//! This crate provides:
+//!
+//! * [`RingLabeling`] — the labeling itself, with the paper's derived
+//!   notions: `LLabels(p)` sequences, multiplicity, asymmetry, the **true
+//!   leader** (the process whose length-`n` counter-clockwise label sequence
+//!   is a Lyndon word), and the bit size `b` of labels;
+//! * class predicates for the paper's classes `A` (asymmetric), `Kk`
+//!   (multiplicity ≤ k) and `U*` (≥ 1 unique label) — [`classes`];
+//! * seeded random generators for each class, the Lemma 1 adversarial
+//!   construction `R_{n,k}`, and the named rings from the paper
+//!   ([`generate`], [`catalog`]);
+//! * exhaustive enumeration of small labelings for brute-force testing
+//!   ([`enumerate`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod classes;
+pub mod counting;
+pub mod enumerate;
+pub mod generate;
+mod labeling;
+
+pub use classes::{classify, ClassReport};
+pub use labeling::{RingError, RingLabeling};

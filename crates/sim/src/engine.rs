@@ -1,0 +1,602 @@
+//! The ring network engine: configurations, steps, virtual time, terminal
+//! detection.
+//!
+//! A **configuration** is the vector of process states plus the contents of
+//! every link (Section II). The engine owns both, fires atomic actions, and
+//! maintains the paper's time-unit metric online:
+//!
+//! * every message carries the virtual time at which it was sent;
+//! * its delivery time is `max(send_time + 1, previous delivery on the same
+//!   link)` — transmission takes at most one unit and links are FIFO;
+//! * a process's clock is the max delivery time it has processed
+//!   (processing itself takes zero time);
+//! * the execution's duration is the largest clock reached.
+//!
+//! This is exactly the classical normalization ("the longest message delay
+//! becomes one unit of time") the paper cites from Tel's book.
+
+use crate::faults::FaultPlan;
+use crate::process::{Algorithm, ElectionState, Outbox, ProcessBehavior, Reaction};
+use hre_ring::RingLabeling;
+use std::collections::VecDeque;
+
+/// A message in flight, stamped with its virtual send time.
+#[derive(Clone, Debug)]
+struct InFlight<M> {
+    msg: M,
+    send_time: u64,
+}
+
+/// The incoming FIFO link of one process.
+#[derive(Clone, Debug)]
+struct Link<M> {
+    queue: VecDeque<InFlight<M>>,
+    /// Delivery time of the last message received on this link (FIFO links
+    /// deliver in non-decreasing virtual time).
+    last_delivery: u64,
+    /// Transmission time of this link in clock ticks. The paper's model
+    /// says "at most one time unit": with [`Network::set_link_delays`],
+    /// one unit = `delay_scale` ticks and each link takes `delay ≤ scale`.
+    delay: u64,
+}
+
+impl<M> Link<M> {
+    fn new() -> Self {
+        Link { queue: VecDeque::new(), last_delivery: 0, delay: 1 }
+    }
+}
+
+/// Per-process bookkeeping around the user-provided behavior.
+struct Slot<P: ProcessBehavior> {
+    proc: P,
+    started: bool,
+    /// Virtual local clock.
+    clock: u64,
+    /// The head message was offered and ignored: the process is disabled
+    /// until its state changes — which cannot happen — so it is deadlocked.
+    wedged: bool,
+    sent: u64,
+    received: u64,
+}
+
+/// Why the network stopped being able to take steps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TerminalKind {
+    /// Every process has halted and no messages remain: the outcome the
+    /// specification demands.
+    AllHalted,
+    /// No process is enabled, no messages remain, but some process never
+    /// halted (message-terminating but not process-terminating behavior).
+    QuiescentNotHalted,
+    /// Some process has a pending head message it cannot receive (disabled
+    /// with a non-empty link) — a deadlock. Lemmas 11–12 prove `Bk` never
+    /// does this; the engine checks rather than assumes.
+    Deadlock,
+}
+
+impl<P: ProcessBehavior + Clone> Clone for Slot<P> {
+    fn clone(&self) -> Self {
+        Slot {
+            proc: self.proc.clone(),
+            started: self.started,
+            clock: self.clock,
+            wedged: self.wedged,
+            sent: self.sent,
+            received: self.received,
+        }
+    }
+}
+
+/// The ring network: `n` processes and `n` FIFO links.
+///
+/// Link `i` is the incoming link of process `i` (i.e. the link from
+/// `p(i−1)` to `p(i)`).
+pub struct Network<P: ProcessBehavior> {
+    slots: Vec<Slot<P>>,
+    links: Vec<Link<P::Msg>>,
+    total_sent: u64,
+    total_wire_bits: u64,
+    actions_fired: u64,
+    peak_link_occupancy: usize,
+    peak_space_bits: u64,
+    label_bits: u32,
+    faults: FaultPlan,
+    /// How many clock ticks make one of the paper's time units (the
+    /// longest link delay). 1 unless heterogeneous delays are configured.
+    delay_scale: u64,
+}
+
+impl<P: ProcessBehavior> Network<P> {
+    /// Builds the initial configuration: every process in its initial state
+    /// (`on_start` not yet fired), all links empty.
+    pub fn new<A>(algo: &A, ring: &RingLabeling) -> Self
+    where
+        A: Algorithm<Proc = P>,
+    {
+        let n = ring.n();
+        let slots = (0..n)
+            .map(|i| Slot {
+                proc: algo.spawn(ring.label(i)),
+                started: false,
+                clock: 0,
+                wedged: false,
+                sent: 0,
+                received: 0,
+            })
+            .collect();
+        let links = (0..n).map(|_| Link::new()).collect();
+        let mut net = Network {
+            slots,
+            links,
+            total_sent: 0,
+            total_wire_bits: 0,
+            actions_fired: 0,
+            peak_link_occupancy: 0,
+            peak_space_bits: 0,
+            label_bits: ring.label_bits(),
+            faults: FaultPlan::none(),
+            delay_scale: 1,
+        };
+        for i in 0..n {
+            net.note_space(i);
+        }
+        net
+    }
+
+    /// Injects a deterministic link-fault plan (see [`crate::faults`]);
+    /// applied to every subsequent send. The default plan is benign.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// Configures **heterogeneous link delays**: `delays[i]` ticks on the
+    /// incoming link of process `i` (each `≥ 1`). The paper's time unit is
+    /// the *longest* delay ("message transmission time is at most one time
+    /// unit"), so [`Self::virtual_time`] and the metrics normalize by
+    /// `max(delays)`. Call before the first action fires.
+    pub fn set_link_delays(&mut self, delays: &[u64]) {
+        assert_eq!(delays.len(), self.n(), "one delay per link");
+        assert!(delays.iter().all(|&d| d >= 1), "delays are at least one tick");
+        assert_eq!(self.actions_fired, 0, "configure delays before running");
+        for (link, &d) in self.links.iter_mut().zip(delays) {
+            link.delay = d;
+        }
+        self.delay_scale = delays.iter().copied().max().unwrap_or(1);
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Immutable view of process `i`'s behavior (for observers and
+    /// algorithm-specific analyses).
+    pub fn process(&self, i: usize) -> &P {
+        &self.slots[i].proc
+    }
+
+    /// Election-specification variables of process `i`.
+    pub fn election(&self, i: usize) -> ElectionState {
+        self.slots[i].proc.election()
+    }
+
+    /// All election states, in process order.
+    pub fn elections(&self) -> Vec<ElectionState> {
+        self.slots.iter().map(|s| s.proc.election()).collect()
+    }
+
+    /// Virtual clock of process `i`.
+    pub fn clock(&self, i: usize) -> u64 {
+        self.slots[i].clock
+    }
+
+    /// The execution's virtual time so far, in the paper's time units: max
+    /// process clock, normalized so the longest link delay is one unit
+    /// (rounded up).
+    pub fn virtual_time(&self) -> u64 {
+        let ticks = self.slots.iter().map(|s| s.clock).max().unwrap_or(0);
+        ticks.div_ceil(self.delay_scale)
+    }
+
+    /// Total messages sent so far.
+    pub fn total_sent(&self) -> u64 {
+        self.total_sent
+    }
+
+    /// Total bits put on the wire so far (per-message sizes from
+    /// [`ProcessBehavior::msg_wire_bits`]).
+    pub fn total_wire_bits(&self) -> u64 {
+        self.total_wire_bits
+    }
+
+    /// Total atomic actions fired so far.
+    pub fn actions_fired(&self) -> u64 {
+        self.actions_fired
+    }
+
+    /// Messages sent by process `i` so far.
+    pub fn sent_by(&self, i: usize) -> u64 {
+        self.slots[i].sent
+    }
+
+    /// Messages received by process `i` so far.
+    pub fn received_by(&self, i: usize) -> u64 {
+        self.slots[i].received
+    }
+
+    /// Messages currently in flight (sum of link queue lengths).
+    pub fn in_flight(&self) -> usize {
+        self.links.iter().map(|l| l.queue.len()).sum()
+    }
+
+    /// Largest single-link queue length observed so far.
+    pub fn peak_link_occupancy(&self) -> usize {
+        self.peak_link_occupancy
+    }
+
+    /// Largest per-process space (bits) observed so far, per the
+    /// algorithm's own accounting.
+    pub fn peak_space_bits(&self) -> u64 {
+        self.peak_space_bits
+    }
+
+    /// Contents of the incoming link of process `i`, oldest first (for
+    /// tests and observers).
+    pub fn link_contents(&self, i: usize) -> Vec<P::Msg> {
+        self.links[i].queue.iter().map(|f| f.msg.clone()).collect()
+    }
+
+    /// Is process `i` enabled? Either its initial action has not fired, or
+    /// a head message is present and the process is not halted/wedged.
+    pub fn enabled(&self, i: usize) -> bool {
+        let s = &self.slots[i];
+        if s.proc.election().halted {
+            return false;
+        }
+        if !s.started {
+            return true;
+        }
+        !s.wedged && !self.links[i].queue.is_empty()
+    }
+
+    /// Indices of all enabled processes.
+    pub fn enabled_set(&self) -> Vec<usize> {
+        (0..self.n()).filter(|&i| self.enabled(i)).collect()
+    }
+
+    /// If no process is enabled, classify the terminal configuration.
+    pub fn terminal_kind(&self) -> Option<TerminalKind> {
+        if self.slots.iter().enumerate().any(|(i, _)| self.enabled(i)) {
+            return None;
+        }
+        let any_pending_at_live = (0..self.n()).any(|i| {
+            !self.links[i].queue.is_empty() && !self.slots[i].proc.election().halted
+        });
+        if any_pending_at_live {
+            return Some(TerminalKind::Deadlock);
+        }
+        // NOTE: a message pending at a *halted* process is unreceivable too;
+        // the spec monitor reports it as a violation of clean termination.
+        if self.slots.iter().all(|s| s.proc.election().halted) && self.in_flight() == 0 {
+            Some(TerminalKind::AllHalted)
+        } else if self.in_flight() == 0 {
+            Some(TerminalKind::QuiescentNotHalted)
+        } else {
+            Some(TerminalKind::Deadlock)
+        }
+    }
+
+    /// Fires one atomic action of process `i`. Returns what happened, or
+    /// `None` if `i` was not enabled.
+    ///
+    /// The caller (scheduler driver) is responsible for fairness.
+    pub fn fire(&mut self, i: usize) -> Option<Fired<P::Msg>> {
+        if !self.enabled(i) {
+            return None;
+        }
+        if !self.slots[i].started {
+            let mut out = Outbox::new();
+            self.slots[i].proc.on_start(&mut out);
+            self.slots[i].started = true;
+            self.actions_fired += 1;
+            let sent = self.dispatch(i, out);
+            self.note_space(i);
+            return Some(Fired::Started { sent });
+        }
+        // Offer the head message.
+        let head = self.links[i]
+            .queue
+            .front()
+            .expect("enabled implies head present")
+            .clone();
+        let mut out = Outbox::new();
+        let reaction = self.slots[i].proc.on_msg(&head.msg, &mut out);
+        match reaction {
+            Reaction::Consumed => {
+                let inflight = self.links[i].queue.pop_front().expect("head present");
+                let delivery =
+                    (inflight.send_time + self.links[i].delay).max(self.links[i].last_delivery);
+                self.links[i].last_delivery = delivery;
+                let s = &mut self.slots[i];
+                s.clock = s.clock.max(delivery);
+                s.received += 1;
+                self.actions_fired += 1;
+                let sent = self.dispatch(i, out);
+                self.note_space(i);
+                Some(Fired::Received { msg: inflight.msg, sent })
+            }
+            Reaction::Ignored => {
+                assert!(
+                    out.is_empty(),
+                    "an action that does not fire must not send messages"
+                );
+                self.slots[i].wedged = true;
+                Some(Fired::Wedged { head: head.msg })
+            }
+        }
+    }
+
+    /// Appends the action's sends to the outgoing link of `i` (the incoming
+    /// link of `i+1`), stamped with `i`'s clock, applying the fault plan
+    /// (benign by default: reliable FIFO exactly-once).
+    fn dispatch(&mut self, i: usize, out: Outbox<P::Msg>) -> Vec<P::Msg> {
+        let n = self.n();
+        let now = self.slots[i].clock;
+        let msgs = out.into_msgs();
+        let mut wire = 0u64;
+        for m in &msgs {
+            wire += self.slots[i].proc.msg_wire_bits(m, self.label_bits);
+        }
+        self.total_wire_bits += wire;
+        let link = &mut self.links[(i + 1) % n];
+        for m in &msgs {
+            let fate = self.faults.decide();
+            if fate.drop {
+                continue;
+            }
+            link.queue.push_back(InFlight { msg: m.clone(), send_time: now });
+            if fate.duplicate {
+                link.queue.push_back(InFlight { msg: m.clone(), send_time: now });
+            }
+            if fate.swap_with_previous && link.queue.len() >= 2 {
+                let len = link.queue.len();
+                link.queue.swap(len - 1, len - 2);
+            }
+        }
+        self.peak_link_occupancy = self.peak_link_occupancy.max(link.queue.len());
+        self.slots[i].sent += msgs.len() as u64;
+        self.total_sent += msgs.len() as u64;
+        msgs
+    }
+
+    fn note_space(&mut self, i: usize) {
+        let bits = self.slots[i].proc.space_bits(self.label_bits);
+        self.peak_space_bits = self.peak_space_bits.max(bits);
+    }
+}
+
+impl<P: ProcessBehavior + Clone> Clone for Network<P> {
+    fn clone(&self) -> Self {
+        Network {
+            slots: self.slots.clone(),
+            links: self.links.clone(),
+            total_sent: self.total_sent,
+            total_wire_bits: self.total_wire_bits,
+            actions_fired: self.actions_fired,
+            peak_link_occupancy: self.peak_link_occupancy,
+            peak_space_bits: self.peak_space_bits,
+            label_bits: self.label_bits,
+            faults: self.faults.clone(),
+            delay_scale: self.delay_scale,
+        }
+    }
+}
+
+/// Result of firing one action.
+#[derive(Clone, Debug)]
+pub enum Fired<M> {
+    /// The initial action ran; `sent` lists the messages it sent.
+    Started {
+        /// Messages sent by the initial action.
+        sent: Vec<M>,
+    },
+    /// A receive action ran on `msg`; `sent` lists the messages it sent.
+    Received {
+        /// The consumed head message.
+        msg: M,
+        /// Messages sent by the action.
+        sent: Vec<M>,
+    },
+    /// The process ignored its head message and is now permanently disabled.
+    Wedged {
+        /// The unreceivable head message.
+        head: M,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Algorithm;
+    use hre_words::Label;
+
+    /// A toy algorithm: each process sends its label once; every process
+    /// consumes exactly `n_expected` labels then declares the max label the
+    /// leader (it knows n — this is only an engine test, not a real
+    /// election).
+    struct Toy {
+        n: usize,
+    }
+
+    struct ToyProc {
+        id: Label,
+        best: Label,
+        seen: usize,
+        n: usize,
+        st: ElectionState,
+    }
+
+    impl Algorithm for Toy {
+        type Proc = ToyProc;
+        fn name(&self) -> String {
+            "Toy".into()
+        }
+        fn spawn(&self, label: Label) -> ToyProc {
+            ToyProc { id: label, best: label, seen: 0, n: self.n, st: ElectionState::INITIAL }
+        }
+    }
+
+    impl ProcessBehavior for ToyProc {
+        type Msg = Label;
+        fn on_start(&mut self, out: &mut Outbox<Label>) {
+            out.send(self.id);
+        }
+        fn on_msg(&mut self, msg: &Label, out: &mut Outbox<Label>) -> Reaction {
+            self.seen += 1;
+            if *msg > self.best {
+                self.best = *msg;
+            }
+            if self.seen < self.n - 1 {
+                out.send(*msg);
+            }
+            if self.seen == self.n - 1 {
+                self.st.is_leader = self.best == self.id;
+                self.st.leader = Some(self.best);
+                self.st.done = true;
+                self.st.halted = true;
+            }
+            Reaction::Consumed
+        }
+        fn election(&self) -> ElectionState {
+            self.st
+        }
+        fn space_bits(&self, b: u32) -> u64 {
+            2 * b as u64 + 64
+        }
+    }
+
+    fn drive<P: ProcessBehavior>(net: &mut Network<P>) {
+        let mut guard = 0;
+        while let Some(&i) = net.enabled_set().first() {
+            net.fire(i);
+            guard += 1;
+            assert!(guard < 100_000, "runaway");
+        }
+    }
+
+    #[test]
+    fn toy_terminates_all_halted() {
+        let ring = RingLabeling::from_raw(&[3, 1, 4, 1, 5]);
+        let mut net = Network::new(&Toy { n: 5 }, &ring);
+        drive(&mut net);
+        assert_eq!(net.terminal_kind(), Some(TerminalKind::AllHalted));
+        for i in 0..5 {
+            let e = net.election(i);
+            assert!(e.done && e.halted);
+            assert_eq!(e.leader, Some(Label::new(5)));
+        }
+        // exactly one leader, at index 4
+        let leaders: Vec<usize> =
+            (0..5).filter(|&i| net.election(i).is_leader).collect();
+        assert_eq!(leaders, vec![4]);
+    }
+
+    #[test]
+    fn message_counts_are_tracked() {
+        let ring = RingLabeling::from_raw(&[2, 1, 3]);
+        let mut net = Network::new(&Toy { n: 3 }, &ring);
+        drive(&mut net);
+        // each process sends its own label + forwards each of the other
+        // labels except the last received: 1 + 1 = 2 sends each
+        assert_eq!(net.total_sent(), 6);
+        for i in 0..3 {
+            assert_eq!(net.sent_by(i), 2);
+            assert_eq!(net.received_by(i), 2);
+        }
+    }
+
+    #[test]
+    fn virtual_time_equals_longest_chain() {
+        // In Toy on n processes, the label that travels farthest makes
+        // n-1 hops, each costing one unit: virtual time = n - 1.
+        for n in 2..8usize {
+            let raw: Vec<u64> = (1..=n as u64).collect();
+            let ring = RingLabeling::from_raw(&raw);
+            let mut net = Network::new(&Toy { n }, &ring);
+            drive(&mut net);
+            assert_eq!(net.virtual_time(), (n - 1) as u64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn initial_configuration_is_clean() {
+        let ring = RingLabeling::from_raw(&[1, 2]);
+        let net = Network::new(&Toy { n: 2 }, &ring);
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.total_sent(), 0);
+        assert_eq!(net.virtual_time(), 0);
+        assert!(net.enabled(0) && net.enabled(1)); // initial actions pending
+        assert_eq!(net.terminal_kind(), None);
+    }
+
+    /// A process that ignores every message: the engine must classify the
+    /// result as a deadlock, not completion.
+    struct Stubborn;
+    struct StubbornProc {
+        id: Label,
+    }
+    impl Algorithm for Stubborn {
+        type Proc = StubbornProc;
+        fn name(&self) -> String {
+            "Stubborn".into()
+        }
+        fn spawn(&self, label: Label) -> StubbornProc {
+            StubbornProc { id: label }
+        }
+    }
+    impl ProcessBehavior for StubbornProc {
+        type Msg = Label;
+        fn on_start(&mut self, out: &mut Outbox<Label>) {
+            out.send(self.id);
+        }
+        fn on_msg(&mut self, _msg: &Label, _out: &mut Outbox<Label>) -> Reaction {
+            Reaction::Ignored
+        }
+        fn election(&self) -> ElectionState {
+            ElectionState::INITIAL
+        }
+        fn space_bits(&self, b: u32) -> u64 {
+            b as u64
+        }
+    }
+
+    #[test]
+    fn ignored_head_wedges_and_deadlocks() {
+        let ring = RingLabeling::from_raw(&[1, 2]);
+        let mut net = Network::new(&Stubborn, &ring);
+        let mut guard = 0;
+        loop {
+            let en = net.enabled_set();
+            if en.is_empty() {
+                break;
+            }
+            net.fire(en[0]);
+            guard += 1;
+            assert!(guard < 100, "wedging must terminate the run");
+        }
+        assert_eq!(net.terminal_kind(), Some(TerminalKind::Deadlock));
+        assert_eq!(net.in_flight(), 2); // both labels stuck at the heads
+    }
+
+    #[test]
+    fn fire_on_disabled_process_returns_none() {
+        let ring = RingLabeling::from_raw(&[1, 2]);
+        let mut net = Network::new(&Toy { n: 2 }, &ring);
+        net.fire(0);
+        net.fire(1);
+        net.fire(0);
+        net.fire(1);
+        assert_eq!(net.terminal_kind(), Some(TerminalKind::AllHalted));
+        assert!(net.fire(0).is_none());
+    }
+}

@@ -1,0 +1,307 @@
+//! An exhaustive interleaving explorer — a small model checker.
+//!
+//! The schedulers in [`crate::sched`] *sample* fair executions; this module
+//! instead walks **every** reachable configuration of a (small) ring by
+//! branching on all enabled processes at each step, memoizing
+//! configurations. It verifies, over the whole reachable state space:
+//!
+//! * **safety** — at most one `isLeader` in every reachable configuration,
+//!   and the irrevocability of `isLeader`/`done` along every edge;
+//! * **no deadlock** — no reachable configuration has a disabled process
+//!   with a pending head message (Lemmas 11–12, for `Bk`, now exhaustively);
+//! * **confluence** — every maximal path ends in the *same single* terminal
+//!   configuration (the diamond property the test suite's
+//!   scheduler-comparison checks only sample).
+//!
+//! Feasible because determinism + FIFO make the configuration a function of
+//! the per-process progress vector: the state count grows like
+//! `(actions/n)^n`, fine for `n ≤ 4–5`.
+//!
+//! Processes that want to be explored implement [`StateKey`] — an exact,
+//! collision-free encoding of their local state (`Debug` of all fields is
+//! fine and is what `Ak`/`Bk` use).
+
+use crate::engine::{Network, TerminalKind};
+use crate::process::{Algorithm, ProcessBehavior};
+use hre_ring::RingLabeling;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Debug;
+
+/// Exact encoding of a process's local state, for configuration
+/// memoization. Two states must encode equal iff they are behaviorally
+/// identical.
+pub trait StateKey {
+    /// The encoding (any injective rendering works; `format!("{:?}")` of
+    /// every field is the easy, safe choice).
+    fn state_key(&self) -> String;
+}
+
+/// What the exploration found.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Distinct configurations reached (including the initial one).
+    pub configurations: u64,
+    /// Distinct terminal configurations (confluence ⟺ exactly 1).
+    pub terminal_configurations: u64,
+    /// Whether some terminal configuration was not all-halted.
+    pub bad_termination: bool,
+    /// Reachable configurations with two or more leaders.
+    pub multi_leader_configurations: u64,
+    /// Edges where `isLeader` or `done` was revoked, or `leader` changed
+    /// after `done`.
+    pub monotonicity_violations: u64,
+    /// Reachable deadlocked configurations (pending head at a disabled
+    /// process).
+    pub deadlock_configurations: u64,
+    /// True iff the exploration was cut short by the configuration budget.
+    pub truncated: bool,
+    /// The elected leader in the terminal configuration(s); `None` if no
+    /// terminal was reached, several disagree, or no unique leader exists.
+    pub terminal_leader: Option<usize>,
+}
+
+impl ExploreReport {
+    /// The headline verdict: safe, deadlock-free, confluent, and fully
+    /// explored.
+    pub fn verified(&self) -> bool {
+        !self.truncated
+            && self.terminal_configurations == 1
+            && !self.bad_termination
+            && self.multi_leader_configurations == 0
+            && self.monotonicity_violations == 0
+            && self.deadlock_configurations == 0
+    }
+}
+
+fn config_key<P>(net: &Network<P>) -> String
+where
+    P: ProcessBehavior + StateKey,
+    P::Msg: Debug,
+{
+    let mut key = String::new();
+    for i in 0..net.n() {
+        key.push_str(&net.process(i).state_key());
+        key.push('|');
+        key.push_str(&format!("{:?}", net.link_contents(i)));
+        key.push(';');
+    }
+    key
+}
+
+/// Explores every reachable configuration of `algo` on `ring`, up to
+/// `max_configurations` (pass e.g. `1_000_000`; exceeding it sets
+/// `truncated` instead of looping forever on a buggy algorithm).
+pub fn explore<A>(algo: &A, ring: &RingLabeling, max_configurations: u64) -> ExploreReport
+where
+    A: Algorithm,
+    A::Proc: StateKey + Clone,
+    <A::Proc as ProcessBehavior>::Msg: Debug,
+{
+    let initial: Network<A::Proc> = Network::new(algo, ring);
+    let mut report = ExploreReport {
+        configurations: 0,
+        terminal_configurations: 0,
+        bad_termination: false,
+        multi_leader_configurations: 0,
+        monotonicity_violations: 0,
+        deadlock_configurations: 0,
+        truncated: false,
+        terminal_leader: None,
+    };
+    let mut leaders_disagree = false;
+
+    let mut seen: BTreeMap<String, ()> = BTreeMap::new();
+    let mut frontier: VecDeque<Network<A::Proc>> = VecDeque::new();
+    seen.insert(config_key(&initial), ());
+    check_config(&initial, &mut report);
+    report.configurations = 1;
+    frontier.push_back(initial);
+
+    while let Some(net) = frontier.pop_front() {
+        let enabled = net.enabled_set();
+        if enabled.is_empty() {
+            report.terminal_configurations += 1;
+            match net.terminal_kind() {
+                Some(TerminalKind::AllHalted) => {}
+                _ => report.bad_termination = true,
+            }
+            let leaders: Vec<usize> =
+                (0..net.n()).filter(|&i| net.election(i).is_leader).collect();
+            let this = (leaders.len() == 1).then(|| leaders[0]);
+            match (report.terminal_leader, this) {
+                (None, Some(l)) if !leaders_disagree => report.terminal_leader = Some(l),
+                (Some(prev), Some(l)) if prev == l => {}
+                _ => {
+                    leaders_disagree = true;
+                    report.terminal_leader = None;
+                }
+            }
+            continue;
+        }
+        for &i in &enabled {
+            let mut next = net.clone();
+            let before = snapshot(&next);
+            next.fire(i);
+            check_edge(&before, &next, &mut report);
+            check_config(&next, &mut report);
+            let key = config_key(&next);
+            if seen.contains_key(&key) {
+                continue;
+            }
+            seen.insert(key, ());
+            report.configurations += 1;
+            if report.configurations >= max_configurations {
+                report.truncated = true;
+                return report;
+            }
+            frontier.push_back(next);
+        }
+    }
+    report
+}
+
+fn snapshot<P: ProcessBehavior>(net: &Network<P>) -> Vec<crate::process::ElectionState> {
+    net.elections()
+}
+
+fn check_config<P: ProcessBehavior>(net: &Network<P>, report: &mut ExploreReport) {
+    let leaders = (0..net.n()).filter(|&i| net.election(i).is_leader).count();
+    if leaders >= 2 {
+        report.multi_leader_configurations += 1;
+    }
+    // Deadlock: disabled-with-pending-head while others may still run.
+    for i in 0..net.n() {
+        let e = net.election(i);
+        if !net.enabled(i) && !e.halted && !net.link_contents(i).is_empty() {
+            report.deadlock_configurations += 1;
+            break;
+        }
+    }
+}
+
+fn check_edge<P: ProcessBehavior>(
+    before: &[crate::process::ElectionState],
+    net: &Network<P>,
+    report: &mut ExploreReport,
+) {
+    for (i, old) in before.iter().enumerate() {
+        let new = net.election(i);
+        let revoked = (old.is_leader && !new.is_leader) || (old.done && !new.done);
+        let leader_changed_after_done = old.done && old.leader != new.leader;
+        if revoked || leader_changed_after_done {
+            report.monotonicity_violations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{ElectionState, Outbox, Reaction};
+    use hre_words::Label;
+
+    /// A tiny two-phase algorithm for explorer self-tests: circulate one
+    /// token per process for exactly one turn (hop-counted), then the
+    /// process with the max label wins.
+    #[derive(Clone)]
+    struct MiniProc {
+        id: Label,
+        n: usize,
+        best: Label,
+        seen: usize,
+        st: ElectionState,
+    }
+    struct Mini {
+        n: usize,
+    }
+    impl Algorithm for Mini {
+        type Proc = MiniProc;
+        fn name(&self) -> String {
+            "Mini".into()
+        }
+        fn spawn(&self, label: Label) -> MiniProc {
+            MiniProc { id: label, n: self.n, best: label, seen: 0, st: ElectionState::INITIAL }
+        }
+    }
+    #[derive(Clone, Debug, PartialEq)]
+    enum MiniMsg {
+        Tok(Label, u32),
+        Fin(Label),
+    }
+    impl ProcessBehavior for MiniProc {
+        type Msg = MiniMsg;
+        fn on_start(&mut self, out: &mut Outbox<MiniMsg>) {
+            out.send(MiniMsg::Tok(self.id, 0));
+        }
+        fn on_msg(&mut self, msg: &MiniMsg, out: &mut Outbox<MiniMsg>) -> Reaction {
+            match *msg {
+                MiniMsg::Tok(x, h) => {
+                    self.seen += 1;
+                    if x > self.best {
+                        self.best = x;
+                    }
+                    if (h as usize) < self.n - 2 {
+                        out.send(MiniMsg::Tok(x, h + 1));
+                    }
+                    if self.seen == self.n - 1 {
+                        if self.best == self.id {
+                            self.st.is_leader = true;
+                            self.st.leader = Some(self.id);
+                            self.st.done = true;
+                            out.send(MiniMsg::Fin(self.id));
+                        }
+                    }
+                    Reaction::Consumed
+                }
+                MiniMsg::Fin(x) => {
+                    if self.st.is_leader {
+                        self.st.halted = true;
+                    } else {
+                        self.st.leader = Some(x);
+                        self.st.done = true;
+                        out.send(MiniMsg::Fin(x));
+                        self.st.halted = true;
+                    }
+                    Reaction::Consumed
+                }
+            }
+        }
+        fn election(&self) -> ElectionState {
+            self.st
+        }
+        fn space_bits(&self, b: u32) -> u64 {
+            2 * b as u64 + 16
+        }
+    }
+    impl StateKey for MiniProc {
+        fn state_key(&self) -> String {
+            format!("{:?}/{:?}/{}/{:?}", self.id, self.best, self.seen, self.st)
+        }
+    }
+
+    #[test]
+    fn explorer_verifies_a_correct_algorithm() {
+        let ring = RingLabeling::from_raw(&[2, 5, 3]);
+        let report = explore(&Mini { n: 3 }, &ring, 1_000_000);
+        assert!(report.verified(), "{report:?}");
+        assert!(report.configurations > 10, "{report:?}");
+        assert_eq!(report.terminal_configurations, 1);
+    }
+
+    #[test]
+    fn explorer_catches_a_two_leader_bug() {
+        // Homonym max labels: both see "their" token logic win.
+        let ring = RingLabeling::from_raw(&[5, 1, 5]);
+        let report = explore(&Mini { n: 3 }, &ring, 1_000_000);
+        assert!(!report.verified(), "{report:?}");
+        assert!(report.multi_leader_configurations > 0, "{report:?}");
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let ring = RingLabeling::from_raw(&[2, 5, 3]);
+        let report = explore(&Mini { n: 3 }, &ring, 5);
+        assert!(report.truncated);
+        assert!(!report.verified());
+    }
+}

@@ -1,0 +1,78 @@
+//! Complexity metrics collected from a run, matching the units the paper's
+//! theorems are stated in.
+
+use std::fmt;
+
+/// Measured complexities of one execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Number of processes `n`.
+    pub n: usize,
+    /// Total messages sent (= received, since every run drains its links).
+    pub messages: u64,
+    /// Total bits put on the wire (message sizes per the algorithm's own
+    /// wire format).
+    pub wire_bits: u64,
+    /// Virtual time in the paper's time units (longest causal chain of
+    /// messages, each message costing at most one unit).
+    pub time_units: u64,
+    /// Atomic actions fired in total.
+    pub actions: u64,
+    /// Scheduler steps (synchronous scheduler: one step = all enabled fire;
+    /// sequential schedulers: one step = one action).
+    pub steps: u64,
+    /// Peak per-process space in bits, by the algorithm's own accounting.
+    pub peak_space_bits: u64,
+    /// Largest backlog observed on a single link.
+    pub peak_link_occupancy: usize,
+    /// Messages received by the busiest process.
+    pub max_received_by_one: u64,
+}
+
+impl RunMetrics {
+    /// Messages per process on average (reported by some related work).
+    pub fn messages_per_process(&self) -> f64 {
+        self.messages as f64 / self.n as f64
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} msgs={} ({}b) time={} steps={} actions={} space={}b link≤{} rcv≤{}",
+            self.n,
+            self.messages,
+            self.wire_bits,
+            self.time_units,
+            self.steps,
+            self.actions,
+            self.peak_space_bits,
+            self.peak_link_occupancy,
+            self.max_received_by_one
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_process_average() {
+        let m = RunMetrics {
+            n: 4,
+            messages: 12,
+            wire_bits: 60,
+            time_units: 5,
+            actions: 16,
+            steps: 16,
+            peak_space_bits: 10,
+            peak_link_occupancy: 2,
+            max_received_by_one: 3,
+        };
+        assert!((m.messages_per_process() - 3.0).abs() < 1e-12);
+        let s = format!("{m}");
+        assert!(s.contains("msgs=12"));
+    }
+}

@@ -1,0 +1,459 @@
+//! High-level drivers: run an algorithm on a ring under a scheduler, with
+//! online specification monitoring, metrics, and optional tracing.
+
+use crate::engine::{Fired, Network, TerminalKind};
+use crate::faults::FaultPlan;
+use crate::metrics::RunMetrics;
+use crate::process::{Algorithm, ProcessBehavior};
+use crate::sched::{Scheduler, Selection};
+use crate::spec::{SpecMonitor, SpecViolation};
+use crate::trace::{ActionEvent, EventKind, Trace};
+use hre_ring::RingLabeling;
+
+/// Options for a run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Abort after this many atomic actions (defends against livelock).
+    pub max_actions: u64,
+    /// Record the full event trace (off by default; traces can be large).
+    pub record_trace: bool,
+    /// Stop as soon as the specification monitor records a violation —
+    /// used by the impossibility experiments, which only need the
+    /// counterexample, not the (possibly endless) aftermath.
+    pub stop_on_violation: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { max_actions: 20_000_000, record_trace: false, stop_on_violation: false }
+    }
+}
+
+/// How the run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Terminal configuration with every process halted — what the
+    /// specification demands.
+    Completed,
+    /// Terminal, quiescent, but some process never halted.
+    QuiescentNotHalted,
+    /// Some process is disabled with a pending head message.
+    Deadlock,
+    /// The action budget ran out (livelock or a genuinely long run).
+    ActionLimit,
+    /// The run was cut short by `stop_on_violation` after the first
+    /// specification violation.
+    StoppedOnViolation,
+}
+
+/// Everything measured and observed in one run.
+#[derive(Clone, Debug)]
+pub struct RunReport<M> {
+    /// How the run ended.
+    pub verdict: Verdict,
+    /// Complexity metrics.
+    pub metrics: RunMetrics,
+    /// Violations of the leader-election specification (empty for a correct
+    /// algorithm on a ring of its class).
+    pub violations: Vec<SpecViolation>,
+    /// Index of the elected leader, if the terminal configuration has
+    /// exactly one.
+    pub leader: Option<usize>,
+    /// The event trace, when requested.
+    pub trace: Option<Trace<M>>,
+    /// Algorithm name (for reports).
+    pub algorithm: String,
+    /// Scheduler name (for reports).
+    pub scheduler: String,
+}
+
+impl<M> RunReport<M> {
+    /// `true` iff the run completed and satisfied the whole specification.
+    pub fn clean(&self) -> bool {
+        self.verdict == Verdict::Completed && self.violations.is_empty()
+    }
+}
+
+/// Checks the **message-terminating** leader-election specification (the
+/// weaker notion used by some related work, e.g. Delporte et al.): the run
+/// reaches quiescence after finitely many messages with a unique agreed
+/// leader, but processes are *not* required to halt. Exactly the paper's
+/// conditions 1–3 without condition 4.
+pub fn satisfies_message_terminating<M>(rep: &RunReport<M>) -> bool {
+    let verdict_ok = matches!(rep.verdict, Verdict::Completed | Verdict::QuiescentNotHalted);
+    let violations_ok = rep.violations.iter().all(|v| {
+        matches!(
+            v,
+            SpecViolation::NeverHalted { .. }
+                | SpecViolation::BadTermination { kind: TerminalKind::QuiescentNotHalted }
+        )
+    });
+    verdict_ok && violations_ok && rep.leader.is_some()
+}
+
+/// Hook invoked after every atomic event, with full read access to the
+/// network (process states included). Used by the figure-reproduction and
+/// state-diagram experiments.
+pub trait Observer<P: ProcessBehavior> {
+    /// Called after each event, before the next scheduling decision.
+    fn after_event(&mut self, net: &Network<P>, event: &ActionEvent<P::Msg>);
+}
+
+/// The no-op observer.
+pub struct NullObserver;
+
+impl<P: ProcessBehavior> Observer<P> for NullObserver {
+    fn after_event(&mut self, _net: &Network<P>, _event: &ActionEvent<P::Msg>) {}
+}
+
+/// Runs `algo` on `ring` under `sched` with default observation.
+pub fn run<A, S>(
+    algo: &A,
+    ring: &RingLabeling,
+    sched: &mut S,
+    opts: RunOptions,
+) -> RunReport<<A::Proc as ProcessBehavior>::Msg>
+where
+    A: Algorithm,
+    S: Scheduler,
+{
+    run_with_observer(algo, ring, sched, opts, &mut NullObserver)
+}
+
+/// Runs `algo` on `ring` under `sched`, reporting every event to `obs`.
+pub fn run_with_observer<A, S, O>(
+    algo: &A,
+    ring: &RingLabeling,
+    sched: &mut S,
+    opts: RunOptions,
+    obs: &mut O,
+) -> RunReport<<A::Proc as ProcessBehavior>::Msg>
+where
+    A: Algorithm,
+    S: Scheduler,
+    O: Observer<A::Proc>,
+{
+    let net: Network<A::Proc> = Network::new(algo, ring);
+    run_network(net, algo.name(), sched, opts, obs)
+}
+
+/// Runs `algo` on `ring` with a deterministic link-[`FaultPlan`] in force —
+/// the assumption-ablation entry point. With a benign plan this is
+/// identical to [`run`].
+pub fn run_faulty<A, S>(
+    algo: &A,
+    ring: &RingLabeling,
+    sched: &mut S,
+    opts: RunOptions,
+    plan: FaultPlan,
+) -> RunReport<<A::Proc as ProcessBehavior>::Msg>
+where
+    A: Algorithm,
+    S: Scheduler,
+{
+    let mut net: Network<A::Proc> = Network::new(algo, ring);
+    net.set_fault_plan(plan);
+    run_network(net, algo.name(), sched, opts, &mut NullObserver)
+}
+
+/// Runs `algo` on `ring` with **heterogeneous link delays** (`delays[i]`
+/// ticks on the incoming link of process `i`): the paper's model with
+/// "transmission time at most one unit" made concrete. The reported
+/// `time_units` are normalized by the longest delay, so the paper's time
+/// bounds still apply verbatim.
+pub fn run_with_delays<A, S>(
+    algo: &A,
+    ring: &RingLabeling,
+    sched: &mut S,
+    opts: RunOptions,
+    delays: &[u64],
+) -> RunReport<<A::Proc as ProcessBehavior>::Msg>
+where
+    A: Algorithm,
+    S: Scheduler,
+{
+    let mut net: Network<A::Proc> = Network::new(algo, ring);
+    net.set_link_delays(delays);
+    run_network(net, algo.name(), sched, opts, &mut NullObserver)
+}
+
+/// Drives a pre-built network to completion (shared by the fault-free and
+/// faulty entry points).
+fn run_network<P, S, O>(
+    mut net: Network<P>,
+    algorithm: String,
+    sched: &mut S,
+    opts: RunOptions,
+    obs: &mut O,
+) -> RunReport<P::Msg>
+where
+    P: ProcessBehavior,
+    S: Scheduler,
+    O: Observer<P>,
+{
+    let mut monitor = SpecMonitor::new(net.elections());
+    let mut trace = opts.record_trace.then(Trace::new);
+    let mut steps: u64 = 0;
+    let mut seq: u64 = 0;
+    let mut budget_exhausted = false;
+    let mut stopped_on_violation = false;
+
+    loop {
+        if opts.stop_on_violation && !monitor.violations().is_empty() {
+            stopped_on_violation = true;
+            break;
+        }
+        let enabled = net.enabled_set();
+        if enabled.is_empty() {
+            break;
+        }
+        if net.actions_fired() >= opts.max_actions {
+            budget_exhausted = true;
+            break;
+        }
+        let selection = sched.select(&enabled);
+        steps += 1;
+        match selection {
+            Selection::All => {
+                for &i in &enabled {
+                    fire_one(&mut net, i, steps, &mut seq, &mut monitor, &mut trace, obs);
+                }
+            }
+            Selection::One(i) => {
+                assert!(enabled.contains(&i), "scheduler picked a disabled process");
+                fire_one(&mut net, i, steps, &mut seq, &mut monitor, &mut trace, obs);
+            }
+        }
+    }
+
+    let terminal = net.terminal_kind();
+    let verdict = if stopped_on_violation {
+        Verdict::StoppedOnViolation
+    } else if budget_exhausted {
+        Verdict::ActionLimit
+    } else {
+        match terminal {
+            Some(TerminalKind::AllHalted) => Verdict::Completed,
+            Some(TerminalKind::QuiescentNotHalted) => Verdict::QuiescentNotHalted,
+            Some(TerminalKind::Deadlock) => Verdict::Deadlock,
+            None => Verdict::ActionLimit,
+        }
+    };
+    if !stopped_on_violation {
+        monitor.finish(terminal);
+    }
+
+    let elections = net.elections();
+    let leaders: Vec<usize> =
+        elections.iter().enumerate().filter(|(_, e)| e.is_leader).map(|(i, _)| i).collect();
+
+    let metrics = RunMetrics {
+        n: net.n(),
+        messages: net.total_sent(),
+        wire_bits: net.total_wire_bits(),
+        time_units: net.virtual_time(),
+        actions: net.actions_fired(),
+        steps,
+        peak_space_bits: net.peak_space_bits(),
+        peak_link_occupancy: net.peak_link_occupancy(),
+        max_received_by_one: (0..net.n()).map(|i| net.received_by(i)).max().unwrap_or(0),
+    };
+
+    RunReport {
+        verdict,
+        metrics,
+        violations: monitor.violations().to_vec(),
+        leader: if leaders.len() == 1 { Some(leaders[0]) } else { None },
+        trace,
+        algorithm,
+        scheduler: sched.name(),
+    }
+}
+
+fn fire_one<P, O>(
+    net: &mut Network<P>,
+    i: usize,
+    step: u64,
+    seq: &mut u64,
+    monitor: &mut SpecMonitor,
+    trace: &mut Option<Trace<P::Msg>>,
+    obs: &mut O,
+) where
+    P: ProcessBehavior,
+    O: Observer<P>,
+{
+    let Some(fired) = net.fire(i) else { return };
+    let (kind, sent) = match fired {
+        Fired::Started { sent } => (EventKind::Start, sent),
+        Fired::Received { msg, sent } => (EventKind::Receive(msg), sent),
+        Fired::Wedged { head } => (EventKind::Wedge(head), Vec::new()),
+    };
+    let event = ActionEvent { seq: *seq, step, pid: i, kind, sent, clock: net.clock(i) };
+    *seq += 1;
+    monitor.observe(&net.elections());
+    obs.after_event(net, &event);
+    if let Some(t) = trace.as_mut() {
+        t.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{ElectionState, Outbox, Reaction};
+    use crate::sched::{RandomSched, RoundRobinSched, SyncSched};
+    use hre_words::Label;
+
+    /// Minimal correct election for K1 rings with known n: circulate all
+    /// labels; after n-1 receptions everyone knows the max label; the max
+    /// then sends a DONE token that halts everyone. (Test double for the
+    /// driver, not a paper algorithm.)
+    struct KnownN {
+        n: usize,
+    }
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    enum Msg {
+        Lab(Label),
+        Done(Label),
+    }
+    struct KnownNProc {
+        id: Label,
+        best: Label,
+        seen: usize,
+        n: usize,
+        st: ElectionState,
+    }
+    impl Algorithm for KnownN {
+        type Proc = KnownNProc;
+        fn name(&self) -> String {
+            "KnownN".into()
+        }
+        fn spawn(&self, label: Label) -> KnownNProc {
+            KnownNProc { id: label, best: label, seen: 0, n: self.n, st: ElectionState::INITIAL }
+        }
+    }
+    impl ProcessBehavior for KnownNProc {
+        type Msg = Msg;
+        fn on_start(&mut self, out: &mut Outbox<Msg>) {
+            out.send(Msg::Lab(self.id));
+        }
+        fn on_msg(&mut self, msg: &Msg, out: &mut Outbox<Msg>) -> Reaction {
+            match msg {
+                Msg::Lab(l) => {
+                    self.seen += 1;
+                    if *l > self.best {
+                        self.best = *l;
+                    }
+                    if self.seen < self.n - 1 {
+                        out.send(Msg::Lab(*l));
+                    }
+                    if self.seen == self.n - 1 && self.best == self.id {
+                        self.st.is_leader = true;
+                        self.st.leader = Some(self.id);
+                        self.st.done = true;
+                        out.send(Msg::Done(self.id));
+                    }
+                    Reaction::Consumed
+                }
+                Msg::Done(l) => {
+                    if self.st.is_leader {
+                        self.st.halted = true;
+                    } else {
+                        self.st.leader = Some(*l);
+                        self.st.done = true;
+                        self.st.halted = true;
+                        out.send(Msg::Done(*l));
+                    }
+                    Reaction::Consumed
+                }
+            }
+        }
+        fn election(&self) -> ElectionState {
+            self.st
+        }
+        fn space_bits(&self, b: u32) -> u64 {
+            2 * b as u64 + 67
+        }
+    }
+
+    fn ring5() -> RingLabeling {
+        RingLabeling::from_raw(&[3, 1, 4, 1 + 4, 5 + 4])
+    }
+
+    #[test]
+    fn run_completes_cleanly_under_every_scheduler() {
+        let algo = KnownN { n: 5 };
+        let ring = ring5();
+        let r1 = run(&algo, &ring, &mut SyncSched, RunOptions::default());
+        let r2 = run(&algo, &ring, &mut RoundRobinSched::default(), RunOptions::default());
+        let r3 = run(&algo, &ring, &mut RandomSched::new(99), RunOptions::default());
+        for r in [&r1, &r2, &r3] {
+            assert!(r.clean(), "{:?} {:?}", r.verdict, r.violations);
+            assert_eq!(r.leader, Some(4)); // label 9 is max
+        }
+        // Confluence: message counts and virtual time agree across
+        // schedulers.
+        assert_eq!(r1.metrics.messages, r2.metrics.messages);
+        assert_eq!(r2.metrics.messages, r3.metrics.messages);
+        assert_eq!(r1.metrics.time_units, r2.metrics.time_units);
+        assert_eq!(r2.metrics.time_units, r3.metrics.time_units);
+    }
+
+    #[test]
+    fn trace_recording_captures_streams() {
+        let algo = KnownN { n: 3 };
+        let ring = RingLabeling::from_raw(&[2, 9, 4]);
+        let mut sched = RoundRobinSched::default();
+        let opts = RunOptions { record_trace: true, ..Default::default() };
+        let rep = run(&algo, &ring, &mut sched, opts);
+        assert!(rep.clean());
+        let trace = rep.trace.expect("requested");
+        assert_eq!(trace.events().len() as u64, rep.metrics.actions);
+        // p2 (label 4) receives p1's label 9 first.
+        assert_eq!(trace.received_stream(2)[0], Msg::Lab(Label::new(9)));
+    }
+
+    #[test]
+    fn action_limit_verdict() {
+        let algo = KnownN { n: 4 }; // wrong n for a 3-ring: never terminates cleanly
+        let ring = RingLabeling::from_raw(&[2, 9, 4]);
+        let rep = run(
+            &algo,
+            &ring,
+            &mut RoundRobinSched::default(),
+            RunOptions { max_actions: 5, ..Default::default() },
+        );
+        assert_eq!(rep.verdict, Verdict::ActionLimit);
+        assert!(!rep.clean());
+    }
+
+    #[test]
+    fn wrong_knowledge_violates_spec() {
+        // KnownN with n too small on a bigger ring: two processes may both
+        // decide early; at minimum the run cannot be clean.
+        let algo = KnownN { n: 3 };
+        let ring = RingLabeling::from_raw(&[1, 2, 3, 4, 5, 6]);
+        let rep = run(&algo, &ring, &mut SyncSched, RunOptions::default());
+        assert!(!rep.clean());
+    }
+
+    #[test]
+    fn observer_sees_every_event() {
+        struct Counter(u64);
+        impl Observer<KnownNProc> for Counter {
+            fn after_event(&mut self, _n: &Network<KnownNProc>, _e: &ActionEvent<Msg>) {
+                self.0 += 1;
+            }
+        }
+        let algo = KnownN { n: 5 };
+        let mut counter = Counter(0);
+        let rep = run_with_observer(
+            &algo,
+            &ring5(),
+            &mut SyncSched,
+            RunOptions::default(),
+            &mut counter,
+        );
+        assert_eq!(counter.0, rep.metrics.actions);
+    }
+}

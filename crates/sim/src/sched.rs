@@ -1,0 +1,210 @@
+//! Schedulers: fair activation policies driving the network.
+//!
+//! The model requires only *fairness* (a continuously-enabled process
+//! eventually fires). Because the algorithms are deterministic and links
+//! are FIFO, the system is **confluent**: every fair schedule produces the
+//! same message streams, the same terminal configuration, the same message
+//! count, and the same virtual time — only the interleaving differs. The
+//! test suite exploits this as a powerful invariant; the schedulers below
+//! provide interestingly different interleavings:
+//!
+//! * [`SyncSched`] — the paper's *synchronous execution*: at each step,
+//!   **all** enabled processes execute one action (link heads snapshotted at
+//!   step start). This is the execution Lemma 1 counts steps of.
+//! * [`RoundRobinSched`] — cycles through processes, firing each enabled one.
+//! * [`RandomSched`] — picks a uniformly random enabled process (seeded);
+//!   fair with probability 1.
+//! * [`AdversarialSched`] — starves a victim process as long as anything
+//!   else is enabled, or drains the most/least loaded link first; still
+//!   technically fair, but produces extreme interleavings.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What the scheduler wants fired next.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Selection {
+    /// Fire every currently-enabled process once, synchronously (heads
+    /// snapshotted at step start).
+    All,
+    /// Fire this one process.
+    One(usize),
+}
+
+/// A fair activation policy.
+pub trait Scheduler {
+    /// Chooses from the (non-empty) enabled set.
+    fn select(&mut self, enabled: &[usize]) -> Selection;
+
+    /// Name for reports.
+    fn name(&self) -> String;
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
+    fn select(&mut self, enabled: &[usize]) -> Selection {
+        (**self).select(enabled)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn select(&mut self, enabled: &[usize]) -> Selection {
+        (**self).select(enabled)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// The synchronous scheduler: every enabled process fires at every step.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SyncSched;
+
+impl Scheduler for SyncSched {
+    fn select(&mut self, _enabled: &[usize]) -> Selection {
+        Selection::All
+    }
+    fn name(&self) -> String {
+        "sync".into()
+    }
+}
+
+/// Round-robin over process indices.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobinSched {
+    cursor: usize,
+}
+
+impl Scheduler for RoundRobinSched {
+    fn select(&mut self, enabled: &[usize]) -> Selection {
+        // smallest enabled index >= cursor, else smallest enabled
+        let pick = enabled
+            .iter()
+            .copied()
+            .find(|&i| i >= self.cursor)
+            .unwrap_or(enabled[0]);
+        self.cursor = pick + 1;
+        Selection::One(pick)
+    }
+    fn name(&self) -> String {
+        "round-robin".into()
+    }
+}
+
+/// Uniformly random enabled process; seeded, hence reproducible.
+#[derive(Clone, Debug)]
+pub struct RandomSched {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl RandomSched {
+    /// A random scheduler from a seed (printed in every report).
+    pub fn new(seed: u64) -> Self {
+        RandomSched { rng: StdRng::seed_from_u64(seed), seed }
+    }
+}
+
+impl Scheduler for RandomSched {
+    fn select(&mut self, enabled: &[usize]) -> Selection {
+        Selection::One(enabled[self.rng.gen_range(0..enabled.len())])
+    }
+    fn name(&self) -> String {
+        format!("random(seed={})", self.seed)
+    }
+}
+
+/// Flavors of adversarial (but still fair) scheduling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Adversary {
+    /// Never fire `victim` while anything else is enabled — maximizes the
+    /// victim's input backlog.
+    Starve(usize),
+    /// Always fire the lowest enabled index — one process races ahead.
+    LowestFirst,
+    /// Always fire the highest enabled index.
+    HighestFirst,
+}
+
+/// Adversarial scheduler; see [`Adversary`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdversarialSched {
+    /// The strategy in force.
+    pub strategy: Adversary,
+}
+
+impl Scheduler for AdversarialSched {
+    fn select(&mut self, enabled: &[usize]) -> Selection {
+        let pick = match self.strategy {
+            Adversary::Starve(victim) => enabled
+                .iter()
+                .copied()
+                .find(|&i| i != victim)
+                .unwrap_or(enabled[0]),
+            Adversary::LowestFirst => enabled[0],
+            Adversary::HighestFirst => *enabled.last().unwrap(),
+        };
+        Selection::One(pick)
+    }
+    fn name(&self) -> String {
+        match self.strategy {
+            Adversary::Starve(v) => format!("starve({v})"),
+            Adversary::LowestFirst => "lowest-first".into(),
+            Adversary::HighestFirst => "highest-first".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_selects_all() {
+        assert_eq!(SyncSched.select(&[0, 2, 5]), Selection::All);
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobinSched::default();
+        assert_eq!(s.select(&[0, 1, 2]), Selection::One(0));
+        assert_eq!(s.select(&[0, 1, 2]), Selection::One(1));
+        assert_eq!(s.select(&[0, 2]), Selection::One(2));
+        assert_eq!(s.select(&[0, 2]), Selection::One(0)); // wraps
+    }
+
+    #[test]
+    fn random_is_reproducible_and_in_range() {
+        let mut a = RandomSched::new(7);
+        let mut b = RandomSched::new(7);
+        for _ in 0..100 {
+            let ea = a.select(&[3, 5, 9]);
+            let eb = b.select(&[3, 5, 9]);
+            assert_eq!(ea, eb);
+            if let Selection::One(i) = ea {
+                assert!([3, 5, 9].contains(&i));
+            } else {
+                panic!("random picks one");
+            }
+        }
+    }
+
+    #[test]
+    fn starve_avoids_victim_when_possible() {
+        let mut s = AdversarialSched { strategy: Adversary::Starve(2) };
+        assert_eq!(s.select(&[1, 2, 3]), Selection::One(1));
+        assert_eq!(s.select(&[2, 3]), Selection::One(3));
+        // forced: only the victim is enabled
+        assert_eq!(s.select(&[2]), Selection::One(2));
+    }
+
+    #[test]
+    fn extremal_strategies() {
+        let mut lo = AdversarialSched { strategy: Adversary::LowestFirst };
+        let mut hi = AdversarialSched { strategy: Adversary::HighestFirst };
+        assert_eq!(lo.select(&[1, 4, 6]), Selection::One(1));
+        assert_eq!(hi.select(&[1, 4, 6]), Selection::One(6));
+    }
+}

@@ -1,0 +1,182 @@
+//! Execution traces: the sequence of atomic events, for debugging, for the
+//! figure-reproduction experiments, and for state-diagram conformance
+//! checking.
+
+use std::fmt::Debug;
+
+/// What kind of atomic event occurred.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind<M> {
+    /// The process's initial (message-free) action fired.
+    Start,
+    /// The process received (consumed) this message.
+    Receive(M),
+    /// The process ignored its head message and is permanently disabled.
+    Wedge(M),
+}
+
+/// One atomic event: which process, what happened, what it sent, and the
+/// virtual time afterwards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActionEvent<M> {
+    /// Global sequence number of the event (0-based).
+    pub seq: u64,
+    /// Scheduler step in which the event fired.
+    pub step: u64,
+    /// The process that fired.
+    pub pid: usize,
+    /// What fired.
+    pub kind: EventKind<M>,
+    /// Messages the action sent, in order.
+    pub sent: Vec<M>,
+    /// The process's virtual clock after the event.
+    pub clock: u64,
+}
+
+/// A recorded execution trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace<M> {
+    events: Vec<ActionEvent<M>>,
+}
+
+impl<M: Clone + Debug> Trace<M> {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, ev: ActionEvent<M>) {
+        self.events.push(ev);
+    }
+
+    /// All events in order.
+    pub fn events(&self) -> &[ActionEvent<M>] {
+        &self.events
+    }
+
+    /// Events fired by one process, in order.
+    pub fn by_process(&self, pid: usize) -> impl Iterator<Item = &ActionEvent<M>> {
+        self.events.iter().filter(move |e| e.pid == pid)
+    }
+
+    /// The messages received by `pid`, in order — the process's input
+    /// stream. By FIFO confluence this stream is schedule-invariant.
+    pub fn received_stream(&self, pid: usize) -> Vec<M> {
+        self.by_process(pid)
+            .filter_map(|e| match &e.kind {
+                EventKind::Receive(m) => Some(m.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The messages sent by `pid`, in order — its output stream.
+    pub fn sent_stream(&self, pid: usize) -> Vec<M> {
+        self.by_process(pid).flat_map(|e| e.sent.iter().cloned()).collect()
+    }
+
+    /// Serializes the trace as JSON Lines (one object per event) for
+    /// external tooling — hand-rolled, message payloads rendered via their
+    /// `Debug` form and properly escaped.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let (kind, msg) = match &e.kind {
+                EventKind::Start => ("start", String::new()),
+                EventKind::Receive(m) => ("receive", format!("{m:?}")),
+                EventKind::Wedge(m) => ("wedge", format!("{m:?}")),
+            };
+            let sent: Vec<String> =
+                e.sent.iter().map(|m| json_string(&format!("{m:?}"))).collect();
+            out.push_str(&format!(
+                "{{\"seq\":{},\"step\":{},\"pid\":{},\"kind\":{},\"msg\":{},\"sent\":[{}],\"clock\":{}}}\n",
+                e.seq,
+                e.step,
+                e.pid,
+                json_string(kind),
+                json_string(&msg),
+                sent.join(","),
+                e.clock
+            ));
+        }
+        out
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Minimal JSON string encoder (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, pid: usize, kind: EventKind<u8>, sent: Vec<u8>) -> ActionEvent<u8> {
+        ActionEvent { seq, step: seq, pid, kind, sent, clock: 0 }
+    }
+
+    #[test]
+    fn json_lines_export() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, EventKind::Start, vec![7]));
+        t.push(ev(1, 1, EventKind::Receive(7), vec![]));
+        let json = t.to_json_lines();
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"start\""), "{json}");
+        assert!(lines[0].contains("\"sent\":[\"7\"]"), "{json}");
+        assert!(lines[1].contains("\"kind\":\"receive\""), "{json}");
+        assert!(lines[1].contains("\"msg\":\"7\""), "{json}");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(super::json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(super::json_string("x\\y"), "\"x\\\\y\"");
+        assert_eq!(super::json_string("n\nl"), "\"n\\nl\"");
+        assert_eq!(super::json_string("tab\t"), "\"tab\\t\"");
+    }
+
+    #[test]
+    fn streams_are_per_process_and_ordered() {
+        let mut t = Trace::new();
+        t.push(ev(0, 0, EventKind::Start, vec![1]));
+        t.push(ev(1, 1, EventKind::Receive(1), vec![2]));
+        t.push(ev(2, 0, EventKind::Receive(2), vec![3, 4]));
+        t.push(ev(3, 1, EventKind::Receive(3), vec![]));
+        t.push(ev(4, 1, EventKind::Wedge(4), vec![]));
+
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.received_stream(0), vec![2]);
+        assert_eq!(t.received_stream(1), vec![1, 3]);
+        assert_eq!(t.sent_stream(0), vec![1, 3, 4]);
+        assert_eq!(t.sent_stream(1), vec![2]);
+        assert_eq!(t.by_process(1).count(), 3);
+    }
+}

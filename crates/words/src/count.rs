@@ -1,0 +1,102 @@
+//! Occurrence counting and multiplicity of labels within sequences.
+//!
+//! `Ak`'s termination test (Lemma 6) asks whether a prefix of `LLabels(p)`
+//! contains at least `2k+1` copies of **some** label; these helpers provide
+//! the counting primitives, generic over any `Ord` element type.
+
+use std::collections::BTreeMap;
+
+/// Number of occurrences of `x` in `sigma`.
+pub fn occurrences<T: Eq>(sigma: &[T], x: &T) -> usize {
+    sigma.iter().filter(|y| *y == x).count()
+}
+
+/// Occurrence count of every distinct element, as an ordered map.
+pub fn multiplicities<T: Ord + Clone>(sigma: &[T]) -> BTreeMap<T, usize> {
+    let mut map = BTreeMap::new();
+    for x in sigma {
+        *map.entry(x.clone()).or_insert(0usize) += 1;
+    }
+    map
+}
+
+/// The largest multiplicity of any element (0 for the empty sequence).
+pub fn max_multiplicity<T: Ord + Clone>(sigma: &[T]) -> usize {
+    multiplicities(sigma).values().copied().max().unwrap_or(0)
+}
+
+/// Number of distinct elements.
+pub fn distinct_labels<T: Ord + Clone>(sigma: &[T]) -> usize {
+    multiplicities(sigma).len()
+}
+
+/// Returns `true` iff some element occurs at least `count` times in `sigma`.
+///
+/// This is the guard of `Ak`'s `Leader(σ)` predicate with `count = 2k+1`.
+pub fn has_label_with_count<T: Ord + Clone>(sigma: &[T], count: usize) -> bool {
+    if count == 0 {
+        return true;
+    }
+    // Single pass with early exit: worth it because Ak evaluates this on
+    // every received label.
+    let mut map = BTreeMap::new();
+    for x in sigma {
+        let c = map.entry(x.clone()).or_insert(0usize);
+        *c += 1;
+        if *c >= count {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrences_basic() {
+        assert_eq!(occurrences(b"abracadabra", &b'a'), 5);
+        assert_eq!(occurrences(b"abracadabra", &b'z'), 0);
+        assert_eq!(occurrences::<u8>(&[], &0), 0);
+    }
+
+    #[test]
+    fn multiplicities_ordered() {
+        let m = multiplicities(b"banana");
+        let pairs: Vec<(u8, usize)> = m.into_iter().collect();
+        assert_eq!(pairs, vec![(b'a', 3), (b'b', 1), (b'n', 2)]);
+    }
+
+    #[test]
+    fn max_multiplicity_and_distinct() {
+        assert_eq!(max_multiplicity(b"banana"), 3);
+        assert_eq!(distinct_labels(b"banana"), 3);
+        assert_eq!(max_multiplicity::<u8>(&[]), 0);
+        assert_eq!(distinct_labels::<u8>(&[]), 0);
+    }
+
+    #[test]
+    fn has_label_with_count_thresholds() {
+        assert!(has_label_with_count(b"banana", 3)); // 'a' x3
+        assert!(!has_label_with_count(b"banana", 4));
+        assert!(has_label_with_count(b"banana", 1));
+        assert!(has_label_with_count(b"banana", 0));
+        assert!(has_label_with_count::<u8>(&[], 0));
+        assert!(!has_label_with_count::<u8>(&[], 1));
+    }
+
+    #[test]
+    fn has_label_with_count_agrees_with_max_multiplicity() {
+        let seqs: [&[u8]; 5] = [b"", b"a", b"aab", b"abcabcabc", b"zzzzz"];
+        for s in seqs {
+            for c in 0..8 {
+                assert_eq!(
+                    has_label_with_count(s, c),
+                    max_multiplicity(s) >= c,
+                    "s={s:?} c={c}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The label datatype.
+//!
+//! The paper's model permits **only comparisons** (order and equality) on
+//! labels. `Label` is an opaque newtype that exposes exactly `Ord`/`Eq`
+//! semantics plus construction and display; algorithm code cannot do
+//! arithmetic on it.
+
+use std::fmt;
+
+/// A process label ("identifier" that need not be unique).
+///
+/// `b`, the number of bits required to store any label of a given ring, is
+/// computed by `hre-ring` from the largest raw value present; the algorithms
+/// themselves never inspect the raw value.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(u64);
+
+impl Label {
+    /// Creates a label from a raw value.
+    pub const fn new(raw: u64) -> Self {
+        Label(raw)
+    }
+
+    /// Raw value, for storage-size accounting and display only.
+    ///
+    /// Algorithm implementations must not use this (the model allows only
+    /// comparisons); it exists for the ring substrate to compute `b` and for
+    /// reporting.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Number of bits needed to store this label (at least 1).
+    pub const fn bits(self) -> u32 {
+        match self.0 {
+            0 => 1,
+            v => 64 - v.leading_zeros(),
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl From<u64> for Label {
+    fn from(raw: u64) -> Self {
+        Label(raw)
+    }
+}
+
+/// Convenience alias for a sequence of labels.
+pub type LabelVec = Vec<Label>;
+
+/// Builds a `Vec<Label>` from raw values; handy in tests and examples.
+///
+/// ```
+/// use hre_words::{labels, Label};
+/// assert_eq!(labels(&[1, 2, 2]), vec![Label::new(1), Label::new(2), Label::new(2)]);
+/// ```
+pub fn labels(raw: &[u64]) -> LabelVec {
+    raw.iter().copied().map(Label::new).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_ordering_matches_raw_ordering() {
+        assert!(Label::new(1) < Label::new(2));
+        assert!(Label::new(7) == Label::new(7));
+        assert!(Label::new(9) > Label::new(2));
+    }
+
+    #[test]
+    fn label_bits() {
+        assert_eq!(Label::new(0).bits(), 1);
+        assert_eq!(Label::new(1).bits(), 1);
+        assert_eq!(Label::new(2).bits(), 2);
+        assert_eq!(Label::new(3).bits(), 2);
+        assert_eq!(Label::new(4).bits(), 3);
+        assert_eq!(Label::new(255).bits(), 8);
+        assert_eq!(Label::new(256).bits(), 9);
+        assert_eq!(Label::new(u64::MAX).bits(), 64);
+    }
+
+    #[test]
+    fn labels_helper_builds_vec() {
+        let v = labels(&[3, 1, 4]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], Label::new(3));
+        assert_eq!(v[2], Label::new(4));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Label::new(42)), "42");
+        assert_eq!(format!("{:?}", Label::new(42)), "L42");
+    }
+}

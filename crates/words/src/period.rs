@@ -1,0 +1,179 @@
+//! Periods and the smallest repeating prefix `srp(σ)`.
+//!
+//! The paper (Section IV) defines: `π = σ_m` (the prefix of `σ` of length
+//! `m`) is a *repeating prefix* of a finite sequence `σ` of length `λ` if
+//! `σ[i] = π[1 + (i−1) mod m]` for all `1 ≤ i ≤ λ`. This is exactly the
+//! classical notion "`m` is a period of `σ`" (note: `m` need **not** divide
+//! `λ`). `srp(σ)` is the repeating prefix of minimum length.
+//!
+//! The smallest period of a sequence of length `λ` equals `λ − border(λ)`
+//! where `border(λ)` is the length of the longest proper border (prefix that
+//! is also a suffix); we compute it with the KMP failure function in `O(λ)`
+//! and cross-check against the naive `O(λ²)` definition in tests.
+
+/// Returns `true` iff `m` is a period of `σ`, i.e. `σ[i] == σ[i + m]` for
+/// all valid `i` (0-based). Every `m >= σ.len()` is trivially a period; `m
+/// == 0` is a period only of the empty sequence.
+pub fn is_period<T: Eq>(sigma: &[T], m: usize) -> bool {
+    if m == 0 {
+        return sigma.is_empty();
+    }
+    sigma.iter().zip(sigma[m.min(sigma.len())..].iter()).all(|(a, b)| a == b)
+}
+
+/// Returns `true` iff the prefix of `sigma` of length `m` is a repeating
+/// prefix of `sigma` in the paper's sense.
+///
+/// Equivalent to [`is_period`]`(sigma, m)` with `1 <= m <= sigma.len()`.
+pub fn is_repeating_prefix<T: Eq>(sigma: &[T], m: usize) -> bool {
+    m >= 1 && m <= sigma.len() && is_period(sigma, m)
+}
+
+/// KMP border (failure-function) array: `out[i]` = length of the longest
+/// proper border of the prefix of length `i` (`out[0] = 0`).
+pub fn border_array<T: Eq>(sigma: &[T]) -> Vec<usize> {
+    let n = sigma.len();
+    let mut border = vec![0usize; n + 1];
+    let mut k = 0usize;
+    for i in 1..n {
+        while k > 0 && sigma[i] != sigma[k] {
+            k = border[k];
+        }
+        if sigma[i] == sigma[k] {
+            k += 1;
+        }
+        border[i + 1] = k;
+    }
+    border
+}
+
+/// Length of the smallest repeating prefix (= smallest period) of `sigma`,
+/// in `O(|σ|)` via the border array.
+///
+/// ```
+/// use hre_words::{srp, srp_len};
+/// // The paper's Section IV example: LLabels(p0) = A B A A B A …
+/// assert_eq!(srp_len(b"ABAABA"), 3);
+/// assert_eq!(srp(b"ABAABA"), b"ABA");
+/// ```
+///
+/// Panics on the empty sequence (the paper only applies `srp` to non-empty
+/// label strings).
+pub fn srp_len<T: Eq>(sigma: &[T]) -> usize {
+    assert!(!sigma.is_empty(), "srp of the empty sequence is undefined");
+    let border = border_array(sigma);
+    sigma.len() - border[sigma.len()]
+}
+
+/// Naive `O(|σ|²)` reference implementation of [`srp_len`]: smallest `m ≥ 1`
+/// such that `m` is a period.
+pub fn srp_len_naive<T: Eq>(sigma: &[T]) -> usize {
+    assert!(!sigma.is_empty(), "srp of the empty sequence is undefined");
+    (1..=sigma.len())
+        .find(|&m| is_period(sigma, m))
+        .expect("|σ| itself is always a period")
+}
+
+/// The smallest repeating prefix `srp(σ)` itself, as a slice of `σ`.
+pub fn srp<T: Eq>(sigma: &[T]) -> &[T] {
+    &sigma[..srp_len(sigma)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_definition_on_bytes() {
+        let s = b"abaabaaba"; // period 3 ("aba"), length 9
+        assert!(is_period(s, 3));
+        assert!(!is_period(s, 1));
+        assert!(!is_period(s, 2));
+        assert!(is_period(s, 9));
+        // A period need not divide the length:
+        let t = b"abaab"; // "aba" repeated, truncated at 5
+        assert!(is_period(t, 3));
+        assert_eq!(srp_len(t), 3);
+    }
+
+    #[test]
+    fn zero_period_only_for_empty() {
+        assert!(is_period::<u8>(&[], 0));
+        assert!(!is_period(b"a", 0));
+    }
+
+    #[test]
+    fn repeating_prefix_matches_paper_example() {
+        // Paper Section IV: ring with p0.id = p1.id = A, p2.id = B gives
+        // LLabels(p0) = A B A A B A ... ; srp of any prefix of length >= 2n
+        // has length n = 3.
+        let s = b"ABAABA";
+        assert!(is_repeating_prefix(s, 3));
+        assert!(!is_repeating_prefix(s, 1));
+        assert!(!is_repeating_prefix(s, 2));
+        assert_eq!(srp(s), b"ABA");
+    }
+
+    #[test]
+    fn srp_of_constant_sequence_is_one() {
+        assert_eq!(srp_len(b"aaaaaa"), 1);
+        assert_eq!(srp(b"aaaaaa"), b"a");
+    }
+
+    #[test]
+    fn srp_of_aperiodic_sequence_is_full_length() {
+        assert_eq!(srp_len(b"abcde"), 5);
+    }
+
+    #[test]
+    fn srp_single_element() {
+        assert_eq!(srp_len(b"x"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn srp_empty_panics() {
+        srp_len::<u8>(&[]);
+    }
+
+    #[test]
+    fn border_array_classic() {
+        // "ababaca": borders 0,0,0,1,2,3,0,1
+        let b = border_array(b"ababaca");
+        assert_eq!(b, vec![0, 0, 0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn fast_matches_naive_exhaustive_binary() {
+        // All binary strings up to length 12.
+        for len in 1..=12usize {
+            for bits in 0u32..(1 << len) {
+                let s: Vec<u8> = (0..len).map(|i| ((bits >> i) & 1) as u8).collect();
+                assert_eq!(srp_len(&s), srp_len_naive(&s), "s={s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_matches_naive_exhaustive_ternary() {
+        for len in 1..=8usize {
+            let mut s = vec![0u8; len];
+            'strings: loop {
+                assert_eq!(srp_len(&s), srp_len_naive(&s), "s={s:?}");
+                // next ternary string
+                let mut i = 0;
+                loop {
+                    if i == len {
+                        break 'strings;
+                    }
+                    s[i] += 1;
+                    if s[i] < 3 {
+                        break;
+                    }
+                    s[i] = 0;
+                    i += 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Rotations, primitivity, and rotational symmetry of cyclic sequences.
+//!
+//! A ring labeling `σ` of length `n` is *symmetric* (paper, Section II) if
+//! there is `0 < d < n` with `σ[i+d mod n] = σ[i]` for all `i`, and
+//! *asymmetric* otherwise. A labeling is asymmetric iff it is **primitive**,
+//! i.e. not expressible as `w^e` for a shorter word `w` and `e ≥ 2`.
+
+use crate::period::srp_len;
+
+/// Returns the rotation of `sigma` by `d` positions to the left:
+/// `rotate_left(σ, d)[i] = σ[(i + d) mod n]`.
+pub fn rotate_left<T: Clone>(sigma: &[T], d: usize) -> Vec<T> {
+    let n = sigma.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = d % n;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&sigma[d..]);
+    out.extend_from_slice(&sigma[..d]);
+    out
+}
+
+/// All `n` rotations of `sigma` (rotation by `0..n`).
+pub fn rotations<T: Clone>(sigma: &[T]) -> Vec<Vec<T>> {
+    (0..sigma.len()).map(|d| rotate_left(sigma, d)).collect()
+}
+
+/// The set of `d ∈ [0, n)` such that rotating by `d` leaves `sigma`
+/// unchanged. Always contains `0`; has more than one element iff the
+/// labeling is symmetric.
+pub fn rotational_symmetries<T: Eq>(sigma: &[T]) -> Vec<usize> {
+    let n = sigma.len();
+    (0..n)
+        .filter(|&d| (0..n).all(|i| sigma[(i + d) % n] == sigma[i]))
+        .collect()
+}
+
+/// Returns `true` iff `sigma` is primitive (no non-trivial rotational
+/// symmetry), in `O(n)`.
+///
+/// ```
+/// use hre_words::is_primitive;
+/// assert!(is_primitive(&[1, 2, 2]));  // the paper's remark ring: asymmetric
+/// assert!(!is_primitive(&[1, 2, 1, 2])); // (1,2)² has a rotational symmetry
+/// ```
+///
+/// A word is primitive iff its smallest period `p` does **not** satisfy
+/// `p | n` with `p < n`... more precisely `σ = w^e` with `e ≥ 2` iff the
+/// smallest period `p` of `σ` divides `n` and `p < n`.
+pub fn is_primitive<T: Eq>(sigma: &[T]) -> bool {
+    let n = sigma.len();
+    if n == 0 {
+        return false;
+    }
+    let p = srp_len(sigma);
+    !(p < n && n % p == 0)
+}
+
+/// Naive reference for [`is_primitive`]: checks every candidate divisor
+/// period directly.
+pub fn is_primitive_naive<T: Eq>(sigma: &[T]) -> bool {
+    let n = sigma.len();
+    if n == 0 {
+        return false;
+    }
+    for d in 1..n {
+        if n % d == 0 && (0..n).all(|i| sigma[(i + d) % n] == sigma[i]) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotate_left_basic() {
+        assert_eq!(rotate_left(b"abcd", 0), b"abcd");
+        assert_eq!(rotate_left(b"abcd", 1), b"bcda");
+        assert_eq!(rotate_left(b"abcd", 3), b"dabc");
+        assert_eq!(rotate_left(b"abcd", 4), b"abcd");
+        assert_eq!(rotate_left(b"abcd", 5), b"bcda");
+    }
+
+    #[test]
+    fn rotate_empty() {
+        assert_eq!(rotate_left::<u8>(&[], 3), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rotations_count_and_content() {
+        let r = rotations(b"aab");
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0], b"aab");
+        assert_eq!(r[1], b"aba");
+        assert_eq!(r[2], b"baa");
+    }
+
+    #[test]
+    fn symmetries_of_power_word() {
+        // "abab" = (ab)^2 : symmetries {0, 2}
+        assert_eq!(rotational_symmetries(b"abab"), vec![0, 2]);
+        // "aaaa": all shifts
+        assert_eq!(rotational_symmetries(b"aaaa"), vec![0, 1, 2, 3]);
+        // primitive word: only 0
+        assert_eq!(rotational_symmetries(b"aab"), vec![0]);
+    }
+
+    #[test]
+    fn primitivity_examples() {
+        assert!(is_primitive(b"aab"));
+        assert!(is_primitive(b"a"));
+        assert!(!is_primitive(b"abab"));
+        assert!(!is_primitive(b"aaa"));
+        assert!(is_primitive(b"aabab"));
+        // The paper's remark ring (1,2,2) is asymmetric:
+        assert!(is_primitive(&[1u8, 2, 2]));
+        assert!(!is_primitive::<u8>(&[]));
+    }
+
+    #[test]
+    fn primitive_iff_single_symmetry_exhaustive() {
+        for len in 1..=10usize {
+            for bits in 0u32..(1 << len) {
+                let s: Vec<u8> = (0..len).map(|i| ((bits >> i) & 1) as u8).collect();
+                let prim = is_primitive(&s);
+                assert_eq!(prim, is_primitive_naive(&s), "s={s:?}");
+                assert_eq!(prim, rotational_symmetries(&s).len() == 1, "s={s:?}");
+                // primitive iff all rotations distinct
+                let mut rots = rotations(&s);
+                rots.sort();
+                rots.dedup();
+                assert_eq!(prim, rots.len() == len, "s={s:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Probing the *boundaries* of the paper's model, three ways:
+//!
+//! 1. **Knowledge** — `BoundedN` (knows `m ≤ n ≤ M`, the Dobrev–Pelc
+//!    setting) must refuse the paper's remark-ring `(1,2,2)` under loose
+//!    bounds, while `Ak` (knows `k`) elects;
+//! 2. **Termination notion** — `MtAk` satisfies *message*-terminating
+//!    election but fails the paper's stronger *process*-terminating spec;
+//! 3. **Link assumptions** — injecting message loss / duplication /
+//!    reordering breaks the algorithms, so §II's reliable-FIFO model is
+//!    load-bearing.
+//!
+//! ```text
+//! cargo run --example model_boundaries
+//! ```
+
+use homonym_rings::prelude::*;
+use homonym_rings::ring::catalog;
+
+fn main() {
+    let ring = catalog::ring_122();
+    println!("ring: {ring}  (the paper's closing-remark ring)\n");
+
+    // 1. Knowledge: k beats bounds on n.
+    println!("1) knowledge comparison");
+    let ak = run(&Ak::new(2), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+    println!("   Ak(k=2)           : clean={} leader={:?}", ak.clean(), ak.leader);
+    // With bounds [2,6], the doubled ring (1,2,2,1,2,2) is symmetric and
+    // indistinguishable — BoundedN must refuse. We inspect the network
+    // directly since refusal is a decision, not an election.
+    use homonym_rings::baselines::BnProc;
+    use homonym_rings::sim::Network;
+    let bn = BoundedN::new(2, 6);
+    let mut net: Network<BnProc> = Network::new(&bn, &ring);
+    while let Some(&i) = net.enabled_set().first() {
+        net.fire(i);
+    }
+    let refused = (0..ring.n()).all(|i| net.process(i).declared_impossible());
+    println!("   BoundedN(m=2,M=6) : declared impossible = {refused}");
+    assert!(ak.clean() && refused);
+
+    // 2. Termination notions.
+    println!("\n2) termination notions (Figure 1 ring)");
+    let fig = catalog::figure1_ring();
+    let mt = run(&MtAk::new(3), &fig, &mut RoundRobinSched::default(), RunOptions::default());
+    println!(
+        "   MtAk: verdict={:?}  message-terminating spec: {}  process-terminating spec: {}",
+        mt.verdict,
+        satisfies_message_terminating(&mt),
+        mt.clean(),
+    );
+    assert!(satisfies_message_terminating(&mt) && !mt.clean());
+
+    // 3. Link-assumption ablation.
+    println!("\n3) link assumptions (Figure 1 ring, Ak with k=3)");
+    for (name, plan) in [
+        ("reliable FIFO (model)", FaultPlan::none()),
+        ("drop every 5th", FaultPlan::single(LinkFault::DropEveryNth(5))),
+        ("duplicate every 5th", FaultPlan::single(LinkFault::DuplicateEveryNth(5))),
+        ("reorder every 7th", FaultPlan::single(LinkFault::SwapEveryNth(7))),
+    ] {
+        let rep = run_faulty(
+            &Ak::new(3),
+            &fig,
+            &mut RoundRobinSched::default(),
+            RunOptions { max_actions: 200_000, ..Default::default() },
+            plan,
+        );
+        println!(
+            "   {name:<22}: clean={} verdict={:?} leader={:?}",
+            rep.clean(),
+            rep.verdict,
+            rep.leader
+        );
+    }
+    println!("\nThe model's assumptions are exactly where the guarantees live. ✓");
+}

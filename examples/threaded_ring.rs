@@ -1,0 +1,76 @@
+//! Runs the paper's algorithms on **real OS threads** — one thread per
+//! process, crossbeam channels as the FIFO links — and cross-checks the
+//! outcome and message count against the discrete-event simulator.
+//!
+//! ```text
+//! cargo run --example threaded_ring --release
+//! ```
+
+use homonym_rings::prelude::*;
+use homonym_rings::ring::generate::random_exact_multiplicity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut table = Table::new(["algo", "n", "k", "leader", "msgs (thr)", "msgs (sim)", "wall"]);
+
+    for &(n, k) in &[(8usize, 2usize), (16, 3), (32, 4), (64, 4)] {
+        let ring = random_exact_multiplicity(n, k, &mut rng);
+
+        // Simulator reference.
+        let sim_ak = run(&Ak::new(k), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+        assert!(sim_ak.clean());
+
+        // Threads.
+        let t0 = Instant::now();
+        let thr = homonym_rings::runtime::run_threaded(
+            &Ak::new(k),
+            &ring,
+            ThreadedOptions::default(),
+        );
+        let wall = t0.elapsed();
+        assert!(thr.clean(), "{:?}", thr.outcomes);
+        assert_eq!(thr.leader(), sim_ak.leader, "threaded and simulated disagree");
+        assert_eq!(thr.messages, sim_ak.metrics.messages);
+
+        table.row([
+            "Ak".to_string(),
+            n.to_string(),
+            k.to_string(),
+            format!("p{}", thr.leader().unwrap()),
+            thr.messages.to_string(),
+            sim_ak.metrics.messages.to_string(),
+            format!("{wall:.1?}"),
+        ]);
+
+        if k >= 2 {
+            let sim_bk =
+                run(&Bk::new(k), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+            assert!(sim_bk.clean());
+            let t0 = Instant::now();
+            let thr = homonym_rings::runtime::run_threaded(
+                &Bk::new(k),
+                &ring,
+                ThreadedOptions::default(),
+            );
+            let wall = t0.elapsed();
+            assert!(thr.clean(), "{:?}", thr.outcomes);
+            assert_eq!(thr.leader(), sim_bk.leader);
+            assert_eq!(thr.messages, sim_bk.metrics.messages);
+            table.row([
+                "Bk".to_string(),
+                n.to_string(),
+                k.to_string(),
+                format!("p{}", thr.leader().unwrap()),
+                thr.messages.to_string(),
+                sim_bk.metrics.messages.to_string(),
+                format!("{wall:.1?}"),
+            ]);
+        }
+    }
+
+    println!("{table}");
+    println!("Thread runtime and simulator agree on every ring. ✓");
+}

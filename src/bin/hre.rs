@@ -1,0 +1,24 @@
+//! `hre` — command-line front end; all logic lives (tested) in
+//! [`homonym_rings::cli`].
+
+use homonym_rings::cli;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, opts)) = cli::parse(&args) else {
+        eprint!("{}", cli::USAGE);
+        return ExitCode::FAILURE;
+    };
+    match cli::dispatch(&cmd, &opts) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,416 @@
+//! The `hre` command-line interface, as a library — the `hre` binary is a
+//! thin wrapper so every code path here is unit-tested.
+//!
+//! Commands return their output as a `String` (the binary prints it), and
+//! errors as `Err(message)`.
+
+use crate::analysis::render::render_ring;
+use crate::analysis::spacetime::render_activity_grid;
+use crate::prelude::*;
+use crate::ring::generate;
+use crate::sim::Scheduler;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Usage text shown on errors and `hre help`.
+pub const USAGE: &str = "\
+hre — leader election in asymmetric labeled unidirectional rings
+
+USAGE:
+  hre classify --ring L0,L1,...            classify a labeling (A, Kk, U*, true leader)
+  hre elect --ring L0,L1,... --algo A      run an election
+        --algo ak|ak-ref|bk|cr|peterson|oracle-n
+        [--k K]              multiplicity bound (default: the ring's actual; bk needs >= 2)
+        [--sched S]          sync | rr | random:SEED | starve:PID  (default rr)
+        [--phases]           print Bk's phase table (bk only)
+        [--diagram]          print the virtual-time activity grid of the run
+  hre generate --n N [--k K] [--class C] [--seed S]   print a random ring
+        --class a-kk|k1|ustar|exact        (default a-kk)
+  hre impossibility --n N [--k0 K] [--seed S]         run the Theorem 1 adversary
+  hre verify --ring L0,L1,... [--k K]                 model-check every interleaving
+";
+
+/// Parsed arguments: `--key value` pairs plus bare flags.
+pub type Opts = BTreeMap<String, String>;
+
+/// Splits `args` into a command name and its options. Returns `None` on
+/// malformed input (missing value, key without `--`, no command).
+pub fn parse(args: &[String]) -> Option<(String, Opts)> {
+    let mut it = args.iter();
+    let cmd = it.next()?.clone();
+    let mut opts = Opts::new();
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let key = rest[i].strip_prefix("--")?.to_string();
+        if key == "phases" || key == "diagram" {
+            opts.insert(key, "true".into());
+            i += 1;
+            continue;
+        }
+        let value = rest.get(i + 1)?.to_string();
+        opts.insert(key, value);
+        i += 2;
+    }
+    Some((cmd, opts))
+}
+
+/// Dispatches a parsed command; returns the text to print.
+pub fn dispatch(cmd: &str, opts: &Opts) -> Result<String, String> {
+    match cmd {
+        "classify" => classify_cmd(opts),
+        "elect" => elect_cmd(opts),
+        "generate" => generate_cmd(opts),
+        "impossibility" => impossibility_cmd(opts),
+        "verify" => verify_cmd(opts),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn ring_from(opts: &Opts) -> Result<RingLabeling, String> {
+    let spec = opts.get("ring").ok_or("--ring is required")?;
+    let raw: Result<Vec<u64>, _> = spec.split(',').map(|s| s.trim().parse::<u64>()).collect();
+    let raw = raw.map_err(|e| format!("bad --ring: {e}"))?;
+    if raw.len() < 2 {
+        return Err("--ring needs at least two labels".into());
+    }
+    Ok(RingLabeling::from_raw(&raw))
+}
+
+fn sched_from(opts: &Opts) -> Result<Box<dyn Scheduler>, String> {
+    match opts.get("sched").map(String::as_str).unwrap_or("rr") {
+        "sync" => Ok(Box::new(SyncSched)),
+        "rr" => Ok(Box::new(RoundRobinSched::default())),
+        s if s.starts_with("random:") => {
+            let seed: u64 = s[7..].parse().map_err(|e| format!("bad seed: {e}"))?;
+            Ok(Box::new(RandomSched::new(seed)))
+        }
+        s if s.starts_with("starve:") => {
+            let pid: usize = s[7..].parse().map_err(|e| format!("bad pid: {e}"))?;
+            Ok(Box::new(AdversarialSched { strategy: Adversary::Starve(pid) }))
+        }
+        other => Err(format!("unknown scheduler '{other}'")),
+    }
+}
+
+fn u64_opt(opts: &Opts, key: &str, default: u64) -> Result<u64, String> {
+    match opts.get(key) {
+        Some(s) => s.parse().map_err(|e| format!("bad --{key}: {e}")),
+        None => Ok(default),
+    }
+}
+
+fn classify_cmd(opts: &Opts) -> Result<String, String> {
+    let ring = ring_from(opts)?;
+    let c = classify(&ring);
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", render_ring(&ring, c.true_leader));
+    let _ = writeln!(out, "{c}");
+    let _ = writeln!(
+        out,
+        "classes: A={} | smallest k with R ∈ Kk: {} | U*={} | K1={}",
+        c.asymmetric,
+        c.minimal_k(),
+        c.has_unique_label,
+        c.fully_identified()
+    );
+    Ok(out)
+}
+
+fn elect_cmd(opts: &Opts) -> Result<String, String> {
+    let ring = ring_from(opts)?;
+    let algo = opts.get("algo").map(String::as_str).unwrap_or("ak");
+    let k = u64_opt(opts, "k", ring.max_multiplicity() as u64)? as usize;
+    let mut sched = sched_from(opts)?;
+    let want_diagram = opts.contains_key("diagram");
+    let run_opts = RunOptions { record_trace: want_diagram, ..Default::default() };
+
+    let (clean, leader, metrics, violations, diagram) = match algo {
+        "ak" => summarize(run(&Ak::new(k.max(1)), &ring, &mut sched, run_opts)),
+        "ak-ref" => {
+            summarize(run(&AkReference::new(k.max(1)), &ring, &mut sched, run_opts))
+        }
+        "bk" => summarize(run(&Bk::new(k.max(2)), &ring, &mut sched, run_opts)),
+        "cr" => summarize(run(&ChangRoberts, &ring, &mut sched, run_opts)),
+        "peterson" => summarize(run(&Peterson, &ring, &mut sched, run_opts)),
+        "oracle-n" => summarize(run(&OracleN::new(ring.n()), &ring, &mut sched, run_opts)),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", render_ring(&ring, leader));
+    match leader {
+        Some(l) => {
+            let _ = writeln!(
+                out,
+                "elected p{l} (label {}) — spec {}",
+                ring.label(l),
+                if clean { "satisfied" } else { "VIOLATED" }
+            );
+        }
+        None => {
+            let _ = writeln!(out, "no unique leader — spec VIOLATED");
+        }
+    }
+    let _ = writeln!(out, "{metrics}");
+    for v in &violations {
+        let _ = writeln!(out, "violation: {v}");
+    }
+    if let Some(d) = diagram {
+        let _ = writeln!(out, "\nactivity grid (● receive, ◐ initial action, · idle):");
+        out.push_str(&d);
+    }
+    if opts.contains_key("phases") {
+        if algo != "bk" {
+            return Err("--phases applies to --algo bk".into());
+        }
+        let table = reconstruct_phases(&ring, k.max(2));
+        let _ = writeln!(out, "\nphases (● active at start, ○ passive):");
+        for phase in 1..=table.phases() {
+            let guests: Vec<_> = (0..ring.n()).map(|p| table.guest(phase, p)).collect();
+            let _ = writeln!(
+                out,
+                "  {:>3}: {}",
+                phase,
+                crate::analysis::render::render_phase(&guests, &table.active_set(phase))
+            );
+        }
+    }
+    if !clean {
+        return Err(format!("{out}election did not satisfy the specification"));
+    }
+    Ok(out)
+}
+
+type Summary = (
+    bool,
+    Option<usize>,
+    crate::sim::RunMetrics,
+    Vec<crate::sim::SpecViolation>,
+    Option<String>,
+);
+
+fn summarize<M: Clone + std::fmt::Debug>(rep: RunReport<M>) -> Summary {
+    let diagram = rep.trace.as_ref().map(|t| render_activity_grid(t, rep.metrics.n));
+    (rep.clean(), rep.leader, rep.metrics, rep.violations, diagram)
+}
+
+fn generate_cmd(opts: &Opts) -> Result<String, String> {
+    let n = u64_opt(opts, "n", 0)? as usize;
+    if n < 2 {
+        return Err("--n (>= 2) is required".into());
+    }
+    let k = u64_opt(opts, "k", 2)? as usize;
+    let seed = u64_opt(opts, "seed", 0)?;
+    let class = opts.get("class").map(String::as_str).unwrap_or("a-kk");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ring = match class {
+        "k1" => generate::random_k1(n, &mut rng),
+        "ustar" => generate::random_ustar_inter_kk(n, k, &mut rng),
+        "exact" => generate::random_exact_multiplicity(n, k, &mut rng),
+        "a-kk" => generate::random_a_inter_kk(n, k, (n.div_ceil(k) as u64 + 2).max(3), &mut rng),
+        other => return Err(format!("unknown class '{other}'")),
+    };
+    let c = classify(&ring);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}",
+        ring.labels().iter().map(|l| l.to_string()).collect::<Vec<_>>().join(",")
+    );
+    let _ = writeln!(out, "{}", render_ring(&ring, c.true_leader));
+    let _ = writeln!(out, "{c}");
+    Ok(out)
+}
+
+fn impossibility_cmd(opts: &Opts) -> Result<String, String> {
+    let n = u64_opt(opts, "n", 0)? as usize;
+    if n < 2 {
+        return Err("--n (>= 2) is required".into());
+    }
+    let k0 = u64_opt(opts, "k0", 2)? as usize;
+    let seed = u64_opt(opts, "seed", 0)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = generate::random_k1(n, &mut rng);
+    let mut out = String::new();
+    let _ = writeln!(out, "base K1 ring : {}", render_ring(&base, None));
+    let cert = demonstrate_impossibility(&Ak::new(k0.max(1)), &base);
+    let _ = writeln!(
+        out,
+        "candidate    : Ak(k0={k0}) — terminates on the base in T = {} sync steps",
+        cert.t_steps
+    );
+    let _ = writeln!(
+        out,
+        "construction : replicate x{} + fresh label → {} processes in U* ∩ K{}",
+        cert.k,
+        cert.big.n(),
+        cert.k
+    );
+    match cert.two_leaders_step {
+        Some(step) => {
+            let names: Vec<String> = cert.leaders.iter().map(|l| format!("q{l}")).collect();
+            let _ = writeln!(
+                out,
+                "verdict      : at sync step {step}, processes {} ALL claim leadership — \
+                 spec violated, Theorem 1 confirmed",
+                names.join(", ")
+            );
+        }
+        None => {
+            let _ = writeln!(out, "verdict      : violations {:?}", cert.violations);
+        }
+    }
+    Ok(out)
+}
+
+fn verify_cmd(opts: &Opts) -> Result<String, String> {
+    let ring = ring_from(opts)?;
+    let k = u64_opt(opts, "k", ring.max_multiplicity() as u64)? as usize;
+    let mut out = String::new();
+    let ak = explore(&Ak::new(k.max(1)), &ring, 5_000_000);
+    let _ = writeln!(
+        out,
+        "Ak(k={}): {} configurations, verified={}",
+        k.max(1),
+        ak.configurations,
+        ak.verified()
+    );
+    let bk = explore(&Bk::new(k.max(2)), &ring, 5_000_000);
+    let _ = writeln!(
+        out,
+        "Bk(k={}): {} configurations, verified={}",
+        k.max(2),
+        bk.configurations,
+        bk.verified()
+    );
+    if !(ak.verified() && bk.verified()) {
+        return Err(format!("{out}model checking FAILED"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run_cli(list: &[&str]) -> Result<String, String> {
+        let a = args(list);
+        let (cmd, opts) = parse(&a).ok_or("parse error")?;
+        dispatch(&cmd, &opts)
+    }
+
+    #[test]
+    fn parse_splits_command_and_options() {
+        let (cmd, opts) = parse(&args(&["elect", "--ring", "1,2,2", "--k", "2", "--phases"]))
+            .expect("parses");
+        assert_eq!(cmd, "elect");
+        assert_eq!(opts.get("ring").unwrap(), "1,2,2");
+        assert_eq!(opts.get("k").unwrap(), "2");
+        assert_eq!(opts.get("phases").unwrap(), "true");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse(&args(&[])).is_none());
+        assert!(parse(&args(&["elect", "ring", "1,2"])).is_none()); // missing --
+        assert!(parse(&args(&["elect", "--ring"])).is_none()); // missing value
+    }
+
+    #[test]
+    fn classify_figure1() {
+        let out = run_cli(&["classify", "--ring", "1,3,1,3,2,2,1,2"]).unwrap();
+        assert!(out.contains("p0[1]*"), "{out}");
+        assert!(out.contains("mlty=3"), "{out}");
+        assert!(out.contains("U*=false"), "{out}");
+    }
+
+    #[test]
+    fn elect_all_algorithms_on_suitable_rings() {
+        for algo in ["ak", "ak-ref", "bk"] {
+            let out = run_cli(&["elect", "--ring", "1,2,2", "--algo", algo, "--k", "2"]).unwrap();
+            assert!(out.contains("elected p0"), "{algo}: {out}");
+            assert!(out.contains("spec satisfied"), "{algo}: {out}");
+        }
+        for algo in ["cr", "peterson", "oracle-n"] {
+            let out = run_cli(&["elect", "--ring", "4,1,3,2", "--algo", algo]).unwrap();
+            assert!(out.contains("spec satisfied"), "{algo}: {out}");
+        }
+    }
+
+    #[test]
+    fn elect_reports_failures_as_errors() {
+        // Chang-Roberts on homonyms: double election -> Err.
+        let err = run_cli(&["elect", "--ring", "5,1,5,2", "--algo", "cr"]).unwrap_err();
+        assert!(err.contains("did not satisfy"), "{err}");
+    }
+
+    #[test]
+    fn elect_with_phases_and_diagram() {
+        let out = run_cli(&[
+            "elect", "--ring", "1,3,1,3,2,2,1,2", "--algo", "bk", "--k", "3", "--phases",
+            "--diagram",
+        ])
+        .unwrap();
+        assert!(out.contains("activity grid"), "{out}");
+        assert!(out.contains("phases"), "{out}");
+        assert!(out.contains("●p0(g=1)"), "{out}");
+    }
+
+    #[test]
+    fn phases_rejected_for_non_bk() {
+        let err = run_cli(&["elect", "--ring", "1,2,2", "--algo", "ak", "--phases"]).unwrap_err();
+        assert!(err.contains("--phases applies"), "{err}");
+    }
+
+    #[test]
+    fn generate_each_class() {
+        for class in ["k1", "ustar", "exact", "a-kk"] {
+            let out = run_cli(&[
+                "generate", "--n", "8", "--k", "3", "--class", class, "--seed", "5",
+            ])
+            .unwrap();
+            assert!(out.contains("n=8"), "{class}: {out}");
+        }
+        assert!(run_cli(&["generate", "--n", "8", "--class", "bogus"]).is_err());
+        assert!(run_cli(&["generate"]).is_err());
+    }
+
+    #[test]
+    fn impossibility_produces_a_certificate() {
+        let out = run_cli(&["impossibility", "--n", "3", "--k0", "1", "--seed", "5"]).unwrap();
+        assert!(out.contains("Theorem 1 confirmed"), "{out}");
+    }
+
+    #[test]
+    fn verify_model_checks_both_algorithms() {
+        let out = run_cli(&["verify", "--ring", "1,2,2"]).unwrap();
+        assert!(out.contains("verified=true"), "{out}");
+        assert!(out.contains("Ak(k=2)"), "{out}");
+    }
+
+    #[test]
+    fn unknown_command_and_scheduler_errors() {
+        assert!(run_cli(&["frobnicate"]).is_err());
+        assert!(run_cli(&["elect", "--ring", "1,2,2", "--sched", "wat"]).is_err());
+        let out = run_cli(&["elect", "--ring", "1,2,2", "--sched", "random:9"]).unwrap();
+        assert!(out.contains("spec satisfied"), "{out}");
+        let out = run_cli(&["elect", "--ring", "1,2,2", "--sched", "starve:0"]).unwrap();
+        assert!(out.contains("spec satisfied"), "{out}");
+        let out = run_cli(&["elect", "--ring", "1,2,2", "--sched", "sync"]).unwrap();
+        assert!(out.contains("spec satisfied"), "{out}");
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_cli(&["help"]).unwrap();
+        assert!(out.contains("USAGE"), "{out}");
+    }
+}

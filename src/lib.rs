@@ -1,0 +1,67 @@
+//! # homonym-rings
+//!
+//! A full Rust reproduction of *"Leader Election in Asymmetric Labeled
+//! Unidirectional Rings"* (Altisen, Datta, Devismes, Durand, Larmore —
+//! IPDPS 2017): deterministic, process-terminating leader election among
+//! **homonym processes** (labels need not be unique) on unidirectional
+//! rings, where processes know a bound `k` on label multiplicity but
+//! nothing about the ring size `n`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use homonym_rings::prelude::*;
+//!
+//! // The paper's Figure 1 ring: labels 1,3,1,3,2,2,1,2 and k = 3.
+//! let ring = RingLabeling::from_raw(&[1, 3, 1, 3, 2, 2, 1, 2]);
+//! assert!(ring.is_asymmetric() && ring.in_kk(3));
+//!
+//! // Run algorithm Ak under a seeded asynchronous scheduler.
+//! let report = run(&Ak::new(3), &ring, &mut RandomSched::new(42), RunOptions::default());
+//! assert!(report.clean());
+//! assert_eq!(report.leader, Some(0)); // p0 is the true leader
+//!
+//! // Bk elects the same process with O(1) labels of state.
+//! let report = run(&Bk::new(3), &ring, &mut RandomSched::new(43), RunOptions::default());
+//! assert_eq!(report.leader, Some(0));
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Re-export | Crate | Contents |
+//! |---|---|---|
+//! | [`words`] | `hre-words` | Lyndon words, smallest repeating prefix, rotations |
+//! | [`ring`] | `hre-ring` | Labelings, classes `A`/`Kk`/`U*`, generators, enumeration |
+//! | [`sim`] | `hre-sim` | The paper's model: guarded actions, FIFO links, schedulers, spec monitor |
+//! | [`core`] | `hre-core` | Algorithms `Ak` (Table 1) and `Bk` (Table 2 / Figure 2) |
+//! | [`baselines`] | `hre-baselines` | Chang–Roberts, Peterson, known-`n` Lyndon election |
+//! | [`runtime`] | `hre-runtime` | One-thread-per-process crossbeam-channel runtime |
+//! | [`analysis`] | `hre-analysis` | Executable lower bound / impossibility proofs, figure reconstruction |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use hre_analysis as analysis;
+pub use hre_baselines as baselines;
+pub use hre_core as core;
+pub use hre_ring as ring;
+pub use hre_runtime as runtime;
+pub use hre_sim as sim;
+pub use hre_words as words;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use hre_analysis::{demonstrate_impossibility, reconstruct_phases, Table};
+    pub use hre_baselines::{BoundedN, ChangRoberts, MtAk, OracleN, Peterson};
+    pub use hre_core::{Ak, AkReference, Bk};
+    pub use hre_ring::{classify, generate, RingLabeling};
+    pub use hre_runtime::{run_threaded, ThreadedOptions};
+    pub use hre_sim::{
+        explore, run, run_faulty, satisfies_message_terminating, Adversary, AdversarialSched,
+        ExploreReport, FaultPlan, LinkFault, RandomSched, RoundRobinSched, RunOptions, RunReport,
+        SyncSched, Verdict,
+    };
+    pub use hre_words::{labels, Label};
+}

@@ -1,0 +1,107 @@
+//! Brute-force validation: run both paper algorithms on **every**
+//! asymmetric labeling of small rings (one canonical representative per
+//! rotation class — rotating the ring only re-indexes processes), checking
+//! the full specification, the elected leader, and every bound of
+//! Theorems 2 and 4.
+
+use homonym_rings::prelude::*;
+use homonym_rings::ring::enumerate;
+
+fn check_ak(ring: &RingLabeling, k: usize) {
+    let rep = run(&Ak::new(k), ring, &mut RoundRobinSched::default(), RunOptions::default());
+    assert!(rep.clean(), "Ak(k={k}) on {ring:?}: {:?} {:?}", rep.verdict, rep.violations);
+    assert_eq!(rep.leader, ring.true_leader(), "Ak(k={k}) on {ring:?}");
+
+    let (n, k64, b) = (ring.n() as u64, k as u64, ring.label_bits() as u64);
+    let m = &rep.metrics;
+    assert!(m.time_units <= (2 * k64 + 2) * n, "Ak time on {ring:?}: {m}");
+    assert!(m.messages <= n * n * (2 * k64 + 1) + n, "Ak messages on {ring:?}: {m}");
+    assert!(
+        m.peak_space_bits <= (2 * k64 + 1) * n * b + 2 * b + 3,
+        "Ak space on {ring:?}: {m}"
+    );
+}
+
+fn check_bk(ring: &RingLabeling, k: usize) {
+    let rep = run(&Bk::new(k), ring, &mut RoundRobinSched::default(), RunOptions::default());
+    assert!(rep.clean(), "Bk(k={k}) on {ring:?}: {:?} {:?}", rep.verdict, rep.violations);
+    assert_eq!(rep.leader, ring.true_leader(), "Bk(k={k}) on {ring:?}");
+    assert_ne!(rep.verdict, Verdict::Deadlock, "Lemmas 11-12 on {ring:?}");
+
+    let (n, k64, b) = (ring.n() as u64, k as u64, ring.label_bits() as u64);
+    let m = &rep.metrics;
+    assert!(m.time_units <= (k64 + 1) * (k64 + 1) * n * n, "Bk time on {ring:?}: {m}");
+    assert!(
+        m.messages <= 4 * (k64 + 1) * (k64 + 1) * n * n,
+        "Bk messages on {ring:?}: {m}"
+    );
+    let log_k = ((k64 - 1).max(1).ilog2() + 1) as u64;
+    assert_eq!(m.peak_space_bits, 2 * log_k + 3 * b + 5, "Bk space on {ring:?}");
+}
+
+#[test]
+fn every_canonical_asymmetric_ring_up_to_n6_alphabet3() {
+    let mut count = 0usize;
+    for n in 2..=6usize {
+        for ring in enumerate::canonical_asymmetric_labelings(n, 3) {
+            let k = ring.max_multiplicity();
+            check_ak(&ring, k);
+            check_bk(&ring, k.max(2));
+            count += 1;
+        }
+    }
+    // 3^n labelings minus symmetric ones, divided by n per class:
+    // n=2: (9-3)/2=3 ; n=3: (27-3)/3=8 ; n=4: (81-3-6)/4=18 ;
+    // n=5: (243-3)/5=48 ; n=6: (729-3-6-24)/6=116.
+    assert_eq!(count, 3 + 8 + 18 + 48 + 116);
+}
+
+#[test]
+fn every_binary_asymmetric_ring_up_to_n8() {
+    for n in 2..=8usize {
+        for ring in enumerate::canonical_asymmetric_labelings(n, 2) {
+            let k = ring.max_multiplicity();
+            check_ak(&ring, k);
+            check_bk(&ring, k.max(2));
+        }
+    }
+}
+
+#[test]
+fn rotating_the_ring_elects_the_same_physical_process() {
+    // Electing on any rotation of a ring names the same process (shifted
+    // index): the outcome is a property of the *network*, not the indexing.
+    for ring in enumerate::canonical_asymmetric_labelings(5, 3).into_iter().take(25) {
+        let k = ring.max_multiplicity().max(2);
+        let base_leader_label_seq = {
+            let rep =
+                run(&Ak::new(k), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+            assert!(rep.clean());
+            ring.llabels_n(rep.leader.unwrap())
+        };
+        for d in 1..ring.n() {
+            let rot = ring.rotated(d);
+            let rep =
+                run(&Ak::new(k), &rot, &mut RoundRobinSched::default(), RunOptions::default());
+            assert!(rep.clean());
+            assert_eq!(rot.llabels_n(rep.leader.unwrap()), base_leader_label_seq);
+        }
+    }
+}
+
+#[test]
+fn k_overestimation_never_hurts_correctness_only_cost() {
+    for ring in enumerate::canonical_asymmetric_labelings(4, 3) {
+        let k_true = ring.max_multiplicity();
+        let mut prev_msgs = 0u64;
+        for k in k_true..=k_true + 3 {
+            let rep =
+                run(&Ak::new(k), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+            assert!(rep.clean(), "{ring:?} k={k}");
+            assert_eq!(rep.leader, ring.true_leader());
+            // messages grow monotonically with k (longer string growth)
+            assert!(rep.metrics.messages >= prev_msgs, "{ring:?} k={k}");
+            prev_msgs = rep.metrics.messages;
+        }
+    }
+}

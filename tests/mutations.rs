@@ -1,0 +1,250 @@
+//! Mutation testing, by hand: deliberately broken variants of the paper's
+//! algorithms, checked to be *caught* by the verification machinery. This
+//! validates the harness itself — a test suite that cannot reject a wrong
+//! threshold or a skipped guard proves nothing by passing.
+
+use homonym_rings::prelude::*;
+use homonym_rings::ring::{catalog, enumerate};
+use homonym_rings::sim::explore;
+use homonym_rings::sim::{Algorithm, ElectionState, Outbox, ProcessBehavior, Reaction, StateKey};
+use homonym_rings::words::{is_lyndon, srp};
+
+/// Mutant 1: `Ak` with the detection threshold lowered from `2k+1` to
+/// `k+1` copies — only one period's worth of evidence, nowhere near what
+/// Lemma 6 needs.
+///
+/// (A milder mutation to `2k` copies survives every ring we can enumerate:
+/// by the Fine–Wilf refinement measured in E12, windows of length `≥ 2n−2`
+/// already pin the srp, and `2k` copies of a label of multiplicity `c`
+/// span `≥ (2k−1)n/c` positions — close enough that no small instance
+/// separates `2k` from `2k+1`. The paper's constant is safe, not sharp.)
+struct AkThresholdMutant {
+    k: usize,
+}
+
+#[derive(Clone)]
+struct MutProc {
+    id: Label,
+    k: usize,
+    threshold: usize,
+    skip_leader_guard: bool,
+    string: Vec<Label>,
+    st: ElectionState,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum MutMsg {
+    Token(Label),
+    Finish,
+}
+
+impl Algorithm for AkThresholdMutant {
+    type Proc = MutProc;
+    fn name(&self) -> String {
+        format!("AkThresholdMutant(k={})", self.k)
+    }
+    fn spawn(&self, label: Label) -> MutProc {
+        MutProc {
+            id: label,
+            k: self.k,
+            threshold: self.k + 1, // BUG: should be 2k+1
+            skip_leader_guard: false,
+            string: Vec::new(),
+            st: ElectionState::INITIAL,
+        }
+    }
+}
+
+/// Mutant 2: `Ak` that skips the Lyndon check in `Leader(σ)` — every
+/// process that reaches the threshold declares itself.
+struct AkGuardMutant {
+    k: usize,
+}
+
+impl Algorithm for AkGuardMutant {
+    type Proc = MutProc;
+    fn name(&self) -> String {
+        format!("AkGuardMutant(k={})", self.k)
+    }
+    fn spawn(&self, label: Label) -> MutProc {
+        MutProc {
+            id: label,
+            k: self.k,
+            threshold: 2 * self.k + 1,
+            skip_leader_guard: true, // BUG: srp = LW(srp) check dropped
+            string: Vec::new(),
+            st: ElectionState::INITIAL,
+        }
+    }
+}
+
+impl ProcessBehavior for MutProc {
+    type Msg = MutMsg;
+    fn on_start(&mut self, out: &mut Outbox<MutMsg>) {
+        self.string.push(self.id);
+        out.send(MutMsg::Token(self.id));
+    }
+    fn on_msg(&mut self, msg: &MutMsg, out: &mut Outbox<MutMsg>) -> Reaction {
+        match (*msg, self.st.is_leader) {
+            (MutMsg::Token(_), true) => Reaction::Consumed,
+            (MutMsg::Token(x), false) => {
+                self.string.push(x);
+                let heavy =
+                    homonym_rings::words::has_label_with_count(&self.string, self.threshold);
+                let decided =
+                    heavy && (self.skip_leader_guard || is_lyndon(srp(&self.string)));
+                if decided {
+                    self.st.is_leader = true;
+                    self.st.leader = Some(self.id);
+                    self.st.done = true;
+                    out.send(MutMsg::Finish);
+                } else {
+                    out.send(MutMsg::Token(x));
+                }
+                Reaction::Consumed
+            }
+            (MutMsg::Finish, false) => {
+                let period = srp(&self.string);
+                let lw = homonym_rings::words::lyndon_rotation(
+                    &period.to_vec(),
+                );
+                self.st.leader = Some(lw[0]);
+                self.st.done = true;
+                out.send(MutMsg::Finish);
+                self.st.halted = true;
+                Reaction::Consumed
+            }
+            (MutMsg::Finish, true) => {
+                self.st.halted = true;
+                Reaction::Consumed
+            }
+        }
+    }
+    fn election(&self) -> ElectionState {
+        self.st
+    }
+    fn space_bits(&self, b: u32) -> u64 {
+        self.string.len() as u64 * b as u64 + 2 * b as u64 + 3
+    }
+}
+
+impl StateKey for MutProc {
+    fn state_key(&self) -> String {
+        format!("{:?}/{:?}/{:?}", self.id, self.string, self.st)
+    }
+}
+
+/// The threshold mutant is wrong: on the concrete counterexample
+/// `(1,0,0,0,0,0,0)` (k = 6) it crowns two leaders, and over the
+/// exhaustive family it fails many instances — while the real `Ak` passes
+/// everywhere under exactly the same driver.
+#[test]
+fn threshold_mutant_is_caught() {
+    // Concrete counterexample found by exhaustive search.
+    let ring = RingLabeling::from_raw(&[1, 0, 0, 0, 0, 0, 0]);
+    let k = ring.max_multiplicity();
+    let bad = run(
+        &AkThresholdMutant { k },
+        &ring,
+        &mut RoundRobinSched::default(),
+        RunOptions { max_actions: 500_000, ..Default::default() },
+    );
+    assert!(!bad.clean(), "k+1 copies must not suffice on {ring:?}");
+    assert!(bad
+        .violations
+        .iter()
+        .any(|v| matches!(v, homonym_rings::sim::SpecViolation::MultipleLeaders { .. })));
+    let good = run(&Ak::new(k), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+    assert!(good.clean());
+    assert_eq!(good.leader, ring.true_leader());
+
+    // Family sweep: count mutant failures; require plenty.
+    let mut mutant_failures = 0usize;
+    let mut total = 0usize;
+    for n in 4..=6usize {
+        for ring in enumerate::canonical_asymmetric_labelings_fast(n, 2) {
+            let k = ring.max_multiplicity();
+            total += 1;
+            let good =
+                run(&Ak::new(k), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+            assert!(good.clean(), "real Ak must pass on {ring:?}");
+            let bad = run(
+                &AkThresholdMutant { k },
+                &ring,
+                &mut RoundRobinSched::default(),
+                RunOptions { max_actions: 500_000, ..Default::default() },
+            );
+            if !bad.clean() || bad.leader != ring.true_leader() {
+                mutant_failures += 1;
+            }
+        }
+    }
+    assert!(
+        mutant_failures * 4 >= total,
+        "the threshold is load-bearing: expected many failures, got {mutant_failures}/{total}"
+    );
+}
+
+/// The guard mutant (no Lyndon check) elects multiple leaders on the
+/// Figure 1 ring — caught by the spec monitor and by the model checker.
+#[test]
+fn guard_mutant_is_caught_by_monitor_and_checker() {
+    let ring = catalog::figure1_ring();
+    let k = 3;
+    let rep = run(
+        &AkGuardMutant { k },
+        &ring,
+        &mut RoundRobinSched::default(),
+        RunOptions { max_actions: 500_000, ..Default::default() },
+    );
+    assert!(!rep.clean(), "the Lyndon guard must be load-bearing");
+
+    let exp = explore(&AkGuardMutant { k }, &catalog::ring_122(), 500_000);
+    // On (1,2,2) with k=2... use the figure ring's class instead: check the
+    // explorer flags the mutant somewhere in the family.
+    let mut caught = !exp.verified();
+    if !caught {
+        for ring in enumerate::canonical_asymmetric_labelings_fast(4, 3) {
+            let k = ring.max_multiplicity();
+            let exp = explore(&AkGuardMutant { k }, &ring, 500_000);
+            if !exp.verified() {
+                caught = true;
+                break;
+            }
+        }
+    }
+    assert!(caught, "the model checker must flag the guard mutant somewhere");
+}
+
+/// Sanity for the mutation harness itself: with the bugs *disabled* the
+/// mutant process is behaviorally `Ak` and passes everywhere it should.
+#[test]
+fn unmutated_clone_behaves_like_ak() {
+    struct Fixed {
+        k: usize,
+    }
+    impl Algorithm for Fixed {
+        type Proc = MutProc;
+        fn name(&self) -> String {
+            "FixedClone".into()
+        }
+        fn spawn(&self, label: Label) -> MutProc {
+            MutProc {
+                id: label,
+                k: self.k,
+                threshold: 2 * self.k + 1,
+                skip_leader_guard: false,
+                string: Vec::new(),
+                st: ElectionState::INITIAL,
+            }
+        }
+    }
+    for ring in enumerate::canonical_asymmetric_labelings_fast(4, 3) {
+        let k = ring.max_multiplicity();
+        let a = run(&Fixed { k }, &ring, &mut RoundRobinSched::default(), RunOptions::default());
+        let b = run(&Ak::new(k), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+        assert!(a.clean() && b.clean(), "{ring:?}");
+        assert_eq!(a.leader, b.leader, "{ring:?}");
+        assert_eq!(a.metrics.messages, b.metrics.messages, "{ring:?}");
+    }
+}
