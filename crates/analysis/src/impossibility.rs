@@ -59,8 +59,7 @@ impl<P: ProcessBehavior> Observer<P> for LeaderWatch {
         if self.first_multi.is_some() {
             return;
         }
-        let leaders: Vec<usize> =
-            (0..net.n()).filter(|&i| net.election(i).is_leader).collect();
+        let leaders: Vec<usize> = (0..net.n()).filter(|&i| net.election(i).is_leader).collect();
         if leaders.len() >= 2 {
             self.first_multi = Some((event.step, leaders));
         }
@@ -101,10 +100,7 @@ pub fn demonstrate_impossibility<A: Algorithm>(
         RunOptions::default(),
         &mut LeaderWatch { first_multi: None },
     );
-    assert!(
-        base_rep.clean(),
-        "the candidate must at least solve K1 for the construction to apply"
-    );
+    assert!(base_rep.clean(), "the candidate must at least solve K1 for the construction to apply");
     let t = base_rep.metrics.steps;
 
     // Step 2: choose k with 1 + (k-2)n > T.

@@ -28,8 +28,8 @@ pub mod lower_bound;
 pub mod phases;
 pub mod render;
 pub mod spacetime;
-pub mod svg;
 pub mod state_diagram;
+pub mod svg;
 pub mod table;
 pub mod tradeoff;
 

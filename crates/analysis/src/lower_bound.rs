@@ -51,11 +51,7 @@ pub struct LowerBoundRow {
 ///
 /// The algorithm must be a leader-election algorithm for `U* ∩ Kk` (both
 /// `Ak` and `Bk` are, since `U* ∩ Kk ⊆ A ∩ Kk`).
-pub fn lower_bound_row<A: Algorithm>(
-    algo: &A,
-    base: &RingLabeling,
-    k: usize,
-) -> LowerBoundRow {
+pub fn lower_bound_row<A: Algorithm>(algo: &A, base: &RingLabeling, k: usize) -> LowerBoundRow {
     assert!(base.all_distinct(), "Lemma 1 measures K1 rings");
     let (steps, rep) = sync_steps(algo, base);
     let n = base.n() as u64;
@@ -73,11 +69,7 @@ pub fn lower_bound_row<A: Algorithm>(
 
 /// Sweeps `n × k` over `K1` rings with a seeded generator; returns one row
 /// per combination for each of `Ak` and `Bk`.
-pub fn lower_bound_sweep(
-    ns: &[usize],
-    ks: &[usize],
-    seed: u64,
-) -> Vec<LowerBoundRow> {
+pub fn lower_bound_sweep(ns: &[usize], ks: &[usize], seed: u64) -> Vec<LowerBoundRow> {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(seed);
@@ -126,11 +118,7 @@ pub fn verify_replication_property(base: &RingLabeling, k: usize) -> usize {
         // The base run may have terminated before step j; property (*)
         // applies to the common prefix.
         let len = q_stream.len().min(p_stream.len());
-        assert_eq!(
-            &q_stream[..len],
-            &p_stream[..len],
-            "property (*) violated at q({j})"
-        );
+        assert_eq!(&q_stream[..len], &p_stream[..len], "property (*) violated at q({j})");
         checked += len;
     }
     checked

@@ -93,15 +93,17 @@ impl PhaseWatch {
         while self.records.len() <= idx {
             self.records.push(vec![None; self.n]);
         }
-        self.records[idx][pid] = Some(PhaseRecord {
-            guest: proc.guest(),
-            active_at_start: proc.is_active(),
-        });
+        self.records[idx][pid] =
+            Some(PhaseRecord { guest: proc.guest(), active_at_start: proc.is_active() });
     }
 }
 
 impl Observer<BkProc> for PhaseWatch {
-    fn after_event(&mut self, net: &Network<BkProc>, event: &ActionEvent<<BkProc as hre_sim::ProcessBehavior>::Msg>) {
+    fn after_event(
+        &mut self,
+        net: &Network<BkProc>,
+        event: &ActionEvent<<BkProc as hre_sim::ProcessBehavior>::Msg>,
+    ) {
         let received = matches!(event.kind, EventKind::Receive(_));
         self.note(net, event.pid, received);
     }
@@ -245,12 +247,7 @@ mod tests {
                 table.messages_per_phase[0]
             );
             for (i, &m) in table.messages_per_phase.iter().enumerate().skip(1) {
-                assert!(
-                    m <= 4 * (k64 + 1) * n64,
-                    "phase {}: {} messages on {ring:?}",
-                    i + 1,
-                    m
-                );
+                assert!(m <= 4 * (k64 + 1) * n64, "phase {}: {} messages on {ring:?}", i + 1, m);
             }
             // conservation: phase charges sum to total receives
             let total: u64 = table.messages_per_phase.iter().sum();

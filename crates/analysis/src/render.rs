@@ -18,10 +18,7 @@ pub fn render_ring(ring: &RingLabeling, star: Option<usize>) -> String {
 /// Renders one Figure 1-style phase line: active processes uppercase with
 /// `●`, passive ones with `○`, each with its guest label:
 /// `●p0(g=2) ○p1(g=1) …`.
-pub fn render_phase(
-    guests: &[Option<Label>],
-    active: &[usize],
-) -> String {
+pub fn render_phase(guests: &[Option<Label>], active: &[usize]) -> String {
     guests
         .iter()
         .enumerate()

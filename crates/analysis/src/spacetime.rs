@@ -28,10 +28,7 @@ fn render_event<M: Debug>(ev: &ActionEvent<M>) -> String {
     let sends = if ev.sent.is_empty() {
         String::new()
     } else {
-        format!(
-            " → [{}]",
-            ev.sent.iter().map(|m| format!("{m:?}")).collect::<Vec<_>>().join(", ")
-        )
+        format!(" → [{}]", ev.sent.iter().map(|m| format!("{m:?}")).collect::<Vec<_>>().join(", "))
     };
     format!("#{:<4} t={:<4} p{} {}{}", ev.seq, ev.clock, ev.pid, what, sends)
 }
@@ -119,8 +116,8 @@ mod tests {
 
     #[test]
     fn wedge_events_render() {
-        use hre_sim::{run_faulty, FaultPlan, LinkFault};
         use hre_core::Bk;
+        use hre_sim::{run_faulty, FaultPlan, LinkFault};
         let ring = catalog::figure1_ring();
         let rep = run_faulty(
             &Bk::new(3),

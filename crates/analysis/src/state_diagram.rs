@@ -16,9 +16,7 @@
 
 use hre_core::{Bk, BkAction, BkProc, BkState};
 use hre_ring::RingLabeling;
-use hre_sim::{
-    run_with_observer, ActionEvent, Network, Observer, RunOptions, Scheduler,
-};
+use hre_sim::{run_with_observer, ActionEvent, Network, Observer, RunOptions, Scheduler};
 use std::collections::BTreeMap;
 
 /// The edges of Figure 2: `(from, action, to)`.
@@ -83,7 +81,8 @@ impl Observer<BkProc> for DiagramWatch {
         let to = proc.state();
         self.prev_state[pid] = to;
         let Some(action) = proc.last_action() else { return };
-        let allowed = ALLOWED_TRANSITIONS.iter().any(|&(f, a, t)| f == from && a == action && t == to);
+        let allowed =
+            ALLOWED_TRANSITIONS.iter().any(|&(f, a, t)| f == from && a == action && t == to);
         if !allowed {
             self.report.violations.push((from, action, to));
         }
@@ -137,8 +136,7 @@ mod tests {
         for n in 2..=4usize {
             for ring in enumerate::asymmetric_labelings(n, 3) {
                 let k = ring.max_multiplicity().max(2);
-                let report =
-                    check_figure2_conformance(&ring, k, &mut RoundRobinSched::default());
+                let report = check_figure2_conformance(&ring, k, &mut RoundRobinSched::default());
                 assert!(report.conforms(), "{ring:?} {:?}", report.violations);
             }
         }
@@ -148,27 +146,15 @@ mod tests {
     fn b9_fires_exactly_once_per_run() {
         let ring = catalog::figure1_ring();
         let report = check_figure2_conformance(&ring, 3, &mut RoundRobinSched::default());
-        let b9: u64 = report
-            .counts
-            .iter()
-            .filter(|((_, a, _), _)| a == "B9")
-            .map(|(_, c)| *c)
-            .sum();
+        let b9: u64 =
+            report.counts.iter().filter(|((_, a, _), _)| a == "B9").map(|(_, c)| *c).sum();
         assert_eq!(b9, 1);
-        let b11: u64 = report
-            .counts
-            .iter()
-            .filter(|((_, a, _), _)| a == "B11")
-            .map(|(_, c)| *c)
-            .sum();
+        let b11: u64 =
+            report.counts.iter().filter(|((_, a, _), _)| a == "B11").map(|(_, c)| *c).sum();
         assert_eq!(b11, 1);
         // B10 fires once per non-leader.
-        let b10: u64 = report
-            .counts
-            .iter()
-            .filter(|((_, a, _), _)| a == "B10")
-            .map(|(_, c)| *c)
-            .sum();
+        let b10: u64 =
+            report.counts.iter().filter(|((_, a, _), _)| a == "B10").map(|(_, c)| *c).sum();
         assert_eq!(b10, (ring.n() - 1) as u64);
     }
 }

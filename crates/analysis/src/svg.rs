@@ -35,7 +35,7 @@ fn phase_panel(
     let (cx, cy) = (ox + PANEL / 2.0, oy + PANEL / 2.0 - 10.0);
     let active = table.active_set(phase);
     let mut s = String::new();
-    s.push_str(&format!("  <g font-family=\"sans-serif\" font-size=\"11\">\n"));
+    s.push_str("  <g font-family=\"sans-serif\" font-size=\"11\">\n");
     // directed edges p(i) -> p(i+1)
     for i in 0..n {
         let (x1, y1) = node_xy(i, n, cx, cy);
@@ -98,7 +98,7 @@ fn phase_panel(
 /// 1–4 in a 2×2 grid for the catalog ring, but any ring / any phase list
 /// works). Returns a complete standalone SVG document.
 pub fn figure_svg(ring: &RingLabeling, table: &PhaseTable, phases: &[usize]) -> String {
-    let cols = phases.len().min(2).max(1);
+    let cols = phases.len().clamp(1, 2);
     let rows = phases.len().div_ceil(cols);
     let (w, h) = (PANEL * cols as f64, PANEL * rows as f64);
     let mut s = String::new();

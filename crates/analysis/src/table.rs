@@ -49,11 +49,8 @@ impl Table {
         let w = self.widths();
         let mut out = String::new();
         let line = |cells: &[String], w: &[usize]| -> String {
-            let body: Vec<String> = cells
-                .iter()
-                .zip(w)
-                .map(|(c, &width)| format!("{c:<width$}"))
-                .collect();
+            let body: Vec<String> =
+                cells.iter().zip(w).map(|(c, &width)| format!("{c:<width$}")).collect();
             format!("| {} |\n", body.join(" | "))
         };
         out.push_str(&line(&self.headers, &w));

@@ -59,13 +59,7 @@ pub fn tradeoff_pair(ring: &RingLabeling, k: usize) -> [TradeoffRow; 2] {
     let n = ring.n() as u64;
     let k64 = k as u64;
     let b = ring.label_bits() as u64;
-    let ak = measure(
-        &Ak::new(k),
-        ring,
-        k,
-        (2 * k64 + 2) * n,
-        (2 * k64 + 1) * n * b + 2 * b + 3,
-    );
+    let ak = measure(&Ak::new(k), ring, k, (2 * k64 + 2) * n, (2 * k64 + 1) * n * b + 2 * b + 3);
     let log_k = ((k64 - 1).max(1).ilog2() + 1) as u64;
     let bk = measure(
         &Bk::new(k),
@@ -128,11 +122,8 @@ mod tests {
             let expect = 2 + 3 * r.label_bits as u64 + 5; // ⌈log 2⌉ = 1
             assert_eq!(r.space_bits, expect, "{r:?}");
         }
-        let ak_spaces: Vec<u64> = rows
-            .iter()
-            .filter(|r| r.algorithm.starts_with("Ak"))
-            .map(|r| r.space_bits)
-            .collect();
+        let ak_spaces: Vec<u64> =
+            rows.iter().filter(|r| r.algorithm.starts_with("Ak")).map(|r| r.space_bits).collect();
         assert!(ak_spaces.windows(2).all(|w| w[0] < w[1]), "Ak space grows: {ak_spaces:?}");
     }
 }

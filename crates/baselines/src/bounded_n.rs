@@ -92,8 +92,10 @@ impl BnProc {
         debug_assert_eq!(self.string.len(), 2 * self.big_m);
         let root = srp(&self.string);
         let s = root.len();
-        let candidates: Vec<usize> =
-            (1..=self.big_m / s).map(|e| e * s).filter(|&c| c >= self.m && c <= self.big_m).collect();
+        let candidates: Vec<usize> = (1..=self.big_m / s)
+            .map(|e| e * s)
+            .filter(|&c| c >= self.m && c <= self.big_m)
+            .collect();
         if candidates == [s] {
             // Unambiguously asymmetric with n = s: elect the true leader.
             if is_lyndon(root) {

@@ -122,7 +122,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for n in 2..=15 {
             let ring = generate::random_k1(n, &mut rng);
-            let rep = run(&ChangRoberts, &ring, &mut RoundRobinSched::default(), RunOptions::default());
+            let rep =
+                run(&ChangRoberts, &ring, &mut RoundRobinSched::default(), RunOptions::default());
             assert!(rep.clean(), "{ring:?} {:?} {:?}", rep.verdict, rep.violations);
             assert_eq!(rep.leader, Some(max_index(&ring)));
         }

@@ -30,13 +30,13 @@
 #![warn(missing_docs)]
 
 pub mod bounded_n;
-pub mod message_terminating;
 pub mod chang_roberts;
+pub mod message_terminating;
 pub mod oracle_n;
 pub mod peterson;
 
 pub use bounded_n::{BnMsg, BnProc, BoundedN};
-pub use message_terminating::{MtAk, MtMsg, MtProc};
 pub use chang_roberts::{ChangRoberts, CrMsg, CrProc};
-pub use oracle_n::{OracleN, OracleMsg, OracleProc};
+pub use message_terminating::{MtAk, MtMsg, MtProc};
+pub use oracle_n::{OracleMsg, OracleN, OracleProc};
 pub use peterson::{Peterson, PetersonMsg, PetersonProc};

@@ -119,7 +119,9 @@ impl ProcessBehavior for MtProc {
 mod tests {
     use super::*;
     use hre_ring::catalog;
-    use hre_sim::{run, satisfies_message_terminating, RoundRobinSched, RunOptions, SpecViolation, Verdict};
+    use hre_sim::{
+        run, satisfies_message_terminating, RoundRobinSched, RunOptions, SpecViolation, Verdict,
+    };
 
     #[test]
     fn message_terminates_but_does_not_process_terminate() {

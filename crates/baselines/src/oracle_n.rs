@@ -169,12 +169,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         for n in [4usize, 8, 16, 32] {
             let ring = generate::random_k1(n, &mut rng);
-            let rep = run(
-                &OracleN::new(n),
-                &ring,
-                &mut SyncSched,
-                RunOptions::default(),
-            );
+            let rep = run(&OracleN::new(n), &ring, &mut SyncSched, RunOptions::default());
             assert!(rep.clean());
             let n64 = n as u64;
             // tokens: n tokens x (n-1) hops; FINISH: n
@@ -190,12 +185,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..10 {
             let ring = generate::random_a_inter_kk(7, 3, 3, &mut rng);
-            let oracle = run(
-                &OracleN::new(7),
-                &ring,
-                &mut RandomSched::new(1),
-                RunOptions::default(),
-            );
+            let oracle =
+                run(&OracleN::new(7), &ring, &mut RandomSched::new(1), RunOptions::default());
             assert!(oracle.clean());
             assert_eq!(oracle.leader, ring.true_leader());
         }

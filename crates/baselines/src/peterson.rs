@@ -193,12 +193,7 @@ mod tests {
             assert!(rep.clean());
             let lg = 64 - n.leading_zeros() as u64; // ceil-ish log2
             let bound = 2 * n * (lg + 1) + 2 * n;
-            assert!(
-                rep.metrics.messages <= bound,
-                "n={n}: {} > {}",
-                rep.metrics.messages,
-                bound
-            );
+            assert!(rep.metrics.messages <= bound, "n={n}: {} > {}", rep.metrics.messages, bound);
         }
     }
 

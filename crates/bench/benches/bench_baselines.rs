@@ -16,8 +16,12 @@ fn bench_baselines_on_k1(c: &mut Criterion) {
         g.throughput(Throughput::Elements(n as u64));
         g.bench_with_input(BenchmarkId::new("chang-roberts", n), &ring, |b, ring| {
             b.iter(|| {
-                let rep =
-                    run(&ChangRoberts, ring, &mut RoundRobinSched::default(), RunOptions::default());
+                let rep = run(
+                    &ChangRoberts,
+                    ring,
+                    &mut RoundRobinSched::default(),
+                    RunOptions::default(),
+                );
                 assert!(rep.clean());
                 rep.metrics.messages
             })

@@ -1,0 +1,56 @@
+//! Criterion benches of the TCP socket runtime: wall-clock cost of a
+//! full election over real loopback sockets, clean wire vs the stress
+//! fault mix, with the threaded channel runtime as the in-process
+//! reference. Socket setup (3n threads, n listeners) dominates at these
+//! sizes; the interesting relative number is the fault-recovery overhead
+//! on the same ring.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hre_core::Ak;
+use hre_net::{run_tcp, FaultPolicy, NetOptions};
+use hre_ring::generate::random_exact_multiplicity;
+use hre_runtime::{run_threaded, ThreadedOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tcp_vs_channels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(18);
+    let mut g = c.benchmark_group("net/ak");
+    g.sample_size(10); // every iteration spawns threads and sockets
+    for n in [4usize, 8] {
+        let ring = random_exact_multiplicity(n, 2, &mut rng);
+        g.bench_with_input(BenchmarkId::new("tcp-clean", n), &ring, |b, ring| {
+            b.iter(|| {
+                let rep = run_tcp(&Ak::new(2), ring, NetOptions::default());
+                assert!(rep.clean());
+                rep.net.total.frames_sent
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("tcp-stress-faults", n), &ring, |b, ring| {
+            b.iter(|| {
+                let rep = run_tcp(
+                    &Ak::new(2),
+                    ring,
+                    NetOptions {
+                        faults: FaultPolicy::stress(),
+                        fault_seed: 18,
+                        ..NetOptions::default()
+                    },
+                );
+                assert!(rep.clean());
+                rep.net.total.frames_retried
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("channels", n), &ring, |b, ring| {
+            b.iter(|| {
+                let rep = run_threaded(&Ak::new(2), ring, ThreadedOptions::default());
+                assert!(rep.clean());
+                rep.messages
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tcp_vs_channels);
+criterion_main!(benches);

@@ -42,9 +42,7 @@ fn bench_least_rotation(c: &mut Criterion) {
     for len in [64usize, 512, 4096] {
         let s: Vec<u8> = (0..len).map(|_| rng.gen_range(0..4)).collect();
         g.throughput(Throughput::Elements(len as u64));
-        g.bench_with_input(BenchmarkId::new("booth", len), &s, |b, s| {
-            b.iter(|| least_rotation(s))
-        });
+        g.bench_with_input(BenchmarkId::new("booth", len), &s, |b, s| b.iter(|| least_rotation(s)));
         if len <= 512 {
             g.bench_with_input(BenchmarkId::new("naive", len), &s, |b, s| {
                 b.iter(|| least_rotation_naive(s))
@@ -76,11 +74,9 @@ fn bench_leader_predicate(c: &mut Criterion) {
         let ring = random_exact_multiplicity(n, k, &mut rng);
         let m = (2 * k + 1) * n / k + 1;
         let sigma: Vec<Label> = ring.llabels(0, m);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}k{k}")),
-            &sigma,
-            |b, s| b.iter(|| leader_predicate(s, k)),
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(format!("n{n}k{k}")), &sigma, |b, s| {
+            b.iter(|| leader_predicate(s, k))
+        });
     }
     g.finish();
 }

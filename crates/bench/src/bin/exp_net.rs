@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e18_net`.
+fn main() {
+    print!("{}", hre_bench::experiments::e18_net::report());
+}

@@ -21,7 +21,8 @@ pub fn report() -> String {
     out.push_str(&format!("seed = {SEED:#x}\n\n"));
 
     let rows = lower_bound_sweep(&[4, 8, 16, 32], &[2, 3, 4, 6], SEED);
-    let mut table = Table::new(["algo", "n", "k", "bound 1+(k-2)n", "measured steps", "ratio", "ok"]);
+    let mut table =
+        Table::new(["algo", "n", "k", "bound 1+(k-2)n", "measured steps", "ratio", "ok"]);
     let mut all_ok = true;
     for r in &rows {
         all_ok &= r.respects_bound && r.clean;

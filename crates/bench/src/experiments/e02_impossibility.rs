@@ -20,8 +20,13 @@ pub fn report() -> String {
     let mut out = String::new();
     out.push_str(&format!("seed = {SEED}\n\n"));
     let mut table = Table::new([
-        "candidate", "base n", "T (sync steps)", "adversary k", "|R(n,k)|",
-        "2-leaders at step", "refuted",
+        "candidate",
+        "base n",
+        "T (sync steps)",
+        "adversary k",
+        "|R(n,k)|",
+        "2-leaders at step",
+        "refuted",
     ]);
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut all_refuted = true;

@@ -24,7 +24,16 @@ pub fn report() -> String {
     let mut out = String::new();
     out.push_str(&format!("seed = {SEED}\n\n"));
     let mut table = Table::new([
-        "n", "k", "b", "time", "≤ (2k+2)n", "msgs", "≤ n²(2k+1)+n", "space(b)", "≤ bound", "ok",
+        "n",
+        "k",
+        "b",
+        "time",
+        "≤ (2k+2)n",
+        "msgs",
+        "≤ n²(2k+1)+n",
+        "space(b)",
+        "≤ bound",
+        "ok",
     ]);
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut all_ok = true;

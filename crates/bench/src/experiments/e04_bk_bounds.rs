@@ -24,22 +24,24 @@ pub fn report() -> String {
     let mut out = String::new();
     out.push_str(&format!("seed = {SEED}\n\n"));
     let mut table = Table::new([
-        "n", "k", "b", "phases X", "≤ (k+1)n", "time", "≤ (k+1)²n²", "msgs", "≤ 4(k+1)²n²",
-        "space(b)", "= 2⌈log k⌉+3b+5", "ok",
+        "n",
+        "k",
+        "b",
+        "phases X",
+        "≤ (k+1)n",
+        "time",
+        "≤ (k+1)²n²",
+        "msgs",
+        "≤ 4(k+1)²n²",
+        "space(b)",
+        "= 2⌈log k⌉+3b+5",
+        "ok",
     ]);
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut all_ok = true;
 
-    for &(n, k) in &[
-        (6usize, 2usize),
-        (8, 2),
-        (8, 4),
-        (16, 2),
-        (16, 4),
-        (24, 3),
-        (32, 4),
-        (48, 4),
-    ] {
+    for &(n, k) in &[(6usize, 2usize), (8, 2), (8, 4), (16, 2), (16, 4), (24, 3), (32, 4), (48, 4)]
+    {
         let ring = random_exact_multiplicity(n, k, &mut rng);
         let b = ring.label_bits() as u64;
         let m = measure_bk(&ring, k);
@@ -50,10 +52,7 @@ pub fn report() -> String {
         let mb = 4 * tb;
         let log_k = ((k64 - 1).max(1).ilog2() + 1) as u64;
         let sb = 2 * log_k + 3 * b + 5;
-        let ok = phases <= xb
-            && m.time_units <= tb
-            && m.messages <= mb
-            && m.peak_space_bits == sb;
+        let ok = phases <= xb && m.time_units <= tb && m.messages <= mb && m.peak_space_bits == sb;
         all_ok &= ok;
         table.row([
             n.to_string(),

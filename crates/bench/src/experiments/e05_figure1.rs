@@ -23,7 +23,14 @@ pub fn report() -> String {
         table.leader, table.leader_phases
     ));
 
-    let mut t = Table::new(["phase", "active (measured)", "active (paper)", "guests p0..p7 (measured)", "guests (paper)", "match"]);
+    let mut t = Table::new([
+        "phase",
+        "active (measured)",
+        "active (paper)",
+        "guests p0..p7 (measured)",
+        "guests (paper)",
+        "match",
+    ]);
     let mut all_match = true;
     for phase in 1..=table.phases() {
         let active: Vec<String> = table.active_set(phase).iter().map(|p| format!("p{p}")).collect();

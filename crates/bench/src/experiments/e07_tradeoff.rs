@@ -21,7 +21,13 @@ pub fn report() -> String {
 
     out.push_str("\nGrowing n (k = 3):\n");
     let mut t1 = Table::new([
-        "n", "Ak time", "Bk time", "Bk/Ak time", "Ak space(b)", "Bk space(b)", "Ak/Bk space",
+        "n",
+        "Ak time",
+        "Bk time",
+        "Bk/Ak time",
+        "Ak space(b)",
+        "Bk space(b)",
+        "Ak/Bk space",
     ]);
     let mut ak_time_prev = 0.0f64;
     for &n in &[9usize, 18, 36, 72] {
@@ -43,7 +49,13 @@ pub fn report() -> String {
 
     out.push_str("\nGrowing k (n = 24):\n");
     let mut t2 = Table::new([
-        "k", "Ak time", "Bk time", "Bk/Ak time", "Ak space(b)", "Bk space(b)", "Ak/Bk space",
+        "k",
+        "Ak time",
+        "Bk time",
+        "Bk/Ak time",
+        "Ak space(b)",
+        "Bk space(b)",
+        "Ak/Bk space",
     ]);
     for &k in &[2usize, 3, 4, 6, 8] {
         let ring = random_exact_multiplicity(24, k, &mut rng);

@@ -27,7 +27,15 @@ pub fn report() -> String {
     let mut out = String::new();
     out.push_str(&format!("seed = {SEED}; all runs on the same K1 rings\n\n"));
     let mut rng = StdRng::seed_from_u64(SEED);
-    let mut t = Table::new(["n", "algorithm", "knowledge", "messages", "wire bits", "time", "space (bits)"]);
+    let mut t = Table::new([
+        "n",
+        "algorithm",
+        "knowledge",
+        "messages",
+        "wire bits",
+        "time",
+        "space (bits)",
+    ]);
     let mut shape_ok = true;
 
     for &n in &[8usize, 16, 32, 64] {
@@ -50,7 +58,8 @@ pub fn report() -> String {
         let pe = run(&Peterson, &ring, &mut RoundRobinSched::default(), RunOptions::default());
         assert!(pe.clean());
         let pe = add("Peterson", "unique labels", pe.metrics);
-        let on = run(&OracleN::new(n), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+        let on =
+            run(&OracleN::new(n), &ring, &mut RoundRobinSched::default(), RunOptions::default());
         assert!(on.clean());
         let on = add("OracleN", "n", on.metrics);
         let bn = run(

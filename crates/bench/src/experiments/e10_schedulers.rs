@@ -10,7 +10,7 @@ use hre_analysis::Table;
 use hre_core::{Ak, Bk};
 use hre_ring::generate;
 use hre_sim::{
-    run, Adversary, AdversarialSched, RandomSched, RoundRobinSched, RunOptions, Scheduler,
+    run, AdversarialSched, Adversary, RandomSched, RoundRobinSched, RunOptions, Scheduler,
     SyncSched,
 };
 use rand::rngs::StdRng;
@@ -28,7 +28,8 @@ pub fn report() -> String {
     let mut out = String::new();
     out.push_str(&format!("seed = {SEED}; ring = {ring}; k = {k}\n\n"));
 
-    let mut t = Table::new(["algo", "schedules", "clean", "deadlocks", "distinct (leader,msgs,time)"]);
+    let mut t =
+        Table::new(["algo", "schedules", "clean", "deadlocks", "distinct (leader,msgs,time)"]);
     let mut all_good = true;
     for algo_name in ["Ak", "Bk"] {
         let mut clean = 0usize;

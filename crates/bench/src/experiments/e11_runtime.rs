@@ -21,7 +21,17 @@ pub fn report() -> String {
     let mut out = String::new();
     out.push_str(&format!("seed = {SEED}\n\n"));
     let mut rng = StdRng::seed_from_u64(SEED);
-    let mut t = Table::new(["algo", "n", "k", "leader sim", "leader thr", "msgs sim", "msgs thr", "agree", "thr wall"]);
+    let mut t = Table::new([
+        "algo",
+        "n",
+        "k",
+        "leader sim",
+        "leader thr",
+        "msgs sim",
+        "msgs thr",
+        "agree",
+        "thr wall",
+    ]);
     let mut all_agree = true;
 
     for &(n, k) in &[(8usize, 2usize), (16, 4), (32, 4), (64, 8)] {

@@ -74,8 +74,8 @@ pub fn report() -> String {
             let (m, big_m) = (m.min(n), big_m.max(n));
             let outcome = bounded_n_outcome(ring, m, big_m);
             let tight = big_m < 2 * n;
-            frontier_ok &= (tight && outcome == "elects")
-                || (!tight && outcome == "refuses (impossible)");
+            frontier_ok &=
+                (tight && outcome == "elects") || (!tight && outcome == "refuses (impossible)");
             t.row([
                 format!("{ring}"),
                 n.to_string(),

@@ -48,7 +48,13 @@ pub fn report() -> String {
          ratios are measured/bound as min/mean/max\n\n"
     ));
     let mut t = Table::new([
-        "n", "k", "Ak time ratio", "Ak msg ratio", "Bk time ratio", "Bk msg ratio", "within bounds",
+        "n",
+        "k",
+        "Ak time ratio",
+        "Ak msg ratio",
+        "Bk time ratio",
+        "Bk msg ratio",
+        "within bounds",
     ]);
     let mut all_ok = true;
 
@@ -77,9 +83,8 @@ pub fn report() -> String {
         let bk_msg: Vec<f64> =
             measurements.iter().map(|(_, b)| b.messages as f64 / bk_msg_bound).collect();
 
-        let within = [&ak_time, &ak_msg, &bk_time, &bk_msg]
-            .iter()
-            .all(|rs| rs.iter().all(|&r| r <= 1.0));
+        let within =
+            [&ak_time, &ak_msg, &bk_time, &bk_msg].iter().all(|rs| rs.iter().all(|&r| r <= 1.0));
         all_ok &= within;
 
         t.row([

@@ -29,7 +29,13 @@ pub fn report() -> String {
 pub fn report_up_to(max_n: usize) -> String {
     let mut out = String::new();
     let mut t = Table::new([
-        "n", "rings", "algo", "total configs", "max configs/ring", "terminal/ring", "verified",
+        "n",
+        "rings",
+        "algo",
+        "total configs",
+        "max configs/ring",
+        "terminal/ring",
+        "verified",
     ]);
     let mut all_verified = true;
 

@@ -30,9 +30,7 @@ pub fn report_up_to(max_n: usize) -> String {
         sizes.push(next);
     }
 
-    let mut t = Table::new([
-        "n", "Ak time", "Ak msgs", "Bk time", "Bk msgs",
-    ]);
+    let mut t = Table::new(["n", "Ak time", "Ak msgs", "Bk time", "Bk msgs"]);
     let mut ak_time = Vec::new();
     let mut ak_msgs = Vec::new();
     let mut bk_time = Vec::new();
@@ -51,22 +49,12 @@ pub fn report_up_to(max_n: usize) -> String {
         }
         ak_time.push(a.time_units as f64);
         ak_msgs.push(a.messages as f64);
-        t.row([
-            n.to_string(),
-            a.time_units.to_string(),
-            a.messages.to_string(),
-            bt,
-            bm,
-        ]);
+        t.row([n.to_string(), a.time_units.to_string(), a.messages.to_string(), bt, bm]);
     }
     out.push_str(&t.render());
 
-    let exponent = |v: &[f64]| -> Vec<f64> {
-        v.windows(2).map(|w| (w[1] / w[0]).log2()).collect()
-    };
-    let fmt = |v: Vec<f64>| {
-        v.iter().map(|e| format!("{e:.2}")).collect::<Vec<_>>().join(", ")
-    };
+    let exponent = |v: &[f64]| -> Vec<f64> { v.windows(2).map(|w| (w[1] / w[0]).log2()).collect() };
+    let fmt = |v: Vec<f64>| v.iter().map(|e| format!("{e:.2}")).collect::<Vec<_>>().join(", ");
     let ak_t_exp = exponent(&ak_time);
     let ak_m_exp = exponent(&ak_msgs);
     let bk_t_exp = exponent(&bk_time);

@@ -17,6 +17,7 @@ pub mod e14_knowledge;
 pub mod e15_distribution;
 pub mod e16_model_check;
 pub mod e17_scale;
+pub mod e18_net;
 
 /// Runs every experiment in order and concatenates the reports — the body
 /// of `EXPERIMENTS.md`.
@@ -29,8 +30,11 @@ pub fn reproduce_all() -> String {
     out
 }
 
+/// A registry entry: experiment title plus its report runner.
+pub type Experiment = (&'static str, fn() -> String);
+
 /// The experiment registry: `(title, runner)` in presentation order.
-pub fn all() -> Vec<(&'static str, fn() -> String)> {
+pub fn all() -> Vec<Experiment> {
     vec![
         ("E1 — Lemma 1 / Cor. 2/4: Ω(kn) synchronous lower bound", e01_lower_bound::report),
         ("E2 — Theorem 1 / Cor. 3: impossibility for U* (and A)", e02_impossibility::report),
@@ -45,9 +49,19 @@ pub fn all() -> Vec<(&'static str, fn() -> String)> {
         ("E11 — threaded runtime agreement (substitution check)", e11_runtime::report),
         ("E12 — Lemmas 5–6: word-combinatorics foundations", e12_words::report),
         ("E13 — ablation: the model's link assumptions are necessary", e13_faults::report),
-        ("E14 — knowledge comparison: bounds on n vs the multiplicity bound k", e14_knowledge::report),
-        ("E15 — cost distributions: slack of the worst-case bounds on random rings", e15_distribution::report),
-        ("E16 — exhaustive model checking: safety, deadlock-freedom, confluence", e16_model_check::report),
+        (
+            "E14 — knowledge comparison: bounds on n vs the multiplicity bound k",
+            e14_knowledge::report,
+        ),
+        (
+            "E15 — cost distributions: slack of the worst-case bounds on random rings",
+            e15_distribution::report,
+        ),
+        (
+            "E16 — exhaustive model checking: safety, deadlock-freedom, confluence",
+            e16_model_check::report,
+        ),
         ("E17 — scale: asymptotic shapes at n up to 512", e17_scale::report),
+        ("E18 — TCP socket runtime agreement and fault recovery", e18_net::report),
     ]
 }

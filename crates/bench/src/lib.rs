@@ -47,9 +47,7 @@ where
         return Vec::new();
     }
     std::thread::scope(|scope| {
-        for (items_chunk, results_chunk) in
-            items.chunks(chunk).zip(results.chunks_mut(chunk))
-        {
+        for (items_chunk, results_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
             scope.spawn(|| {
                 for (item, slot) in items_chunk.iter().zip(results_chunk.iter_mut()) {
                     *slot = Some(f(item));

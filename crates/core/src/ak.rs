@@ -239,16 +239,13 @@ mod tests {
     use super::*;
     use hre_ring::{catalog, enumerate, generate, RingLabeling};
     use hre_sim::{
-        run, Adversary, AdversarialSched, RandomSched, RoundRobinSched, RunOptions, SyncSched,
+        run, AdversarialSched, Adversary, RandomSched, RoundRobinSched, RunOptions, SyncSched,
     };
     use hre_words::labels;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn default_run(
-        ring: &RingLabeling,
-        k: usize,
-    ) -> hre_sim::RunReport<AkMsg> {
+    fn default_run(ring: &RingLabeling, k: usize) -> hre_sim::RunReport<AkMsg> {
         run(&Ak::new(k), ring, &mut RoundRobinSched::default(), RunOptions::default())
     }
 
@@ -345,9 +342,7 @@ mod tests {
     #[test]
     fn theorem2_bounds_hold() {
         let mut rng = StdRng::seed_from_u64(23);
-        for &(n, k, a) in
-            &[(4usize, 2usize, 3u64), (6, 2, 3), (8, 3, 3), (10, 2, 5), (12, 4, 3)]
-        {
+        for &(n, k, a) in &[(4usize, 2usize, 3u64), (6, 2, 3), (8, 3, 3), (10, 2, 5), (12, 4, 3)] {
             let ring = generate::random_a_inter_kk(n, k, a, &mut rng);
             let b = ring.label_bits() as u64;
             let rep = default_run(&ring, k);

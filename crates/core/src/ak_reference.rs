@@ -17,9 +17,7 @@
 
 use crate::ak::AkMsg;
 use hre_sim::{Algorithm, ElectionState, Outbox, ProcessBehavior, Reaction};
-use hre_words::{
-    is_lyndon, least_rotation_naive, occurrences, rotate_left, srp_len_naive, Label,
-};
+use hre_words::{is_lyndon, least_rotation_naive, occurrences, rotate_left, srp_len_naive, Label};
 
 /// The paper's `Leader(σ)` predicate, computed entirely with naive
 /// reference algorithms.
@@ -158,10 +156,7 @@ mod tests {
         assert_eq!(fast.leader, slow.leader, "{ring:?} k={k}");
         assert_eq!(fast.metrics.messages, slow.metrics.messages, "{ring:?} k={k}");
         assert_eq!(fast.metrics.time_units, slow.metrics.time_units, "{ring:?} k={k}");
-        assert_eq!(
-            fast.metrics.peak_space_bits, slow.metrics.peak_space_bits,
-            "{ring:?} k={k}"
-        );
+        assert_eq!(fast.metrics.peak_space_bits, slow.metrics.peak_space_bits, "{ring:?} k={k}");
         let (tf, ts) = (fast.trace.unwrap(), slow.trace.unwrap());
         for p in 0..ring.n() {
             assert_eq!(tf.received_stream(p), ts.received_stream(p), "{ring:?} k={k} p={p}");

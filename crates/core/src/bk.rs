@@ -365,7 +365,7 @@ mod tests {
     use super::*;
     use hre_ring::{catalog, enumerate, generate, RingLabeling};
     use hre_sim::{
-        run, Adversary, AdversarialSched, RandomSched, RoundRobinSched, RunOptions, SyncSched,
+        run, AdversarialSched, Adversary, RandomSched, RoundRobinSched, RunOptions, SyncSched,
         Verdict,
     };
     use rand::rngs::StdRng;
@@ -467,12 +467,7 @@ mod tests {
         // Lemmas 11–12 empirically: no schedule wedges a process.
         let ring = catalog::figure1_ring();
         for seed in 0..50 {
-            let rep = run(
-                &Bk::new(3),
-                &ring,
-                &mut RandomSched::new(seed),
-                RunOptions::default(),
-            );
+            let rep = run(&Bk::new(3), &ring, &mut RandomSched::new(seed), RunOptions::default());
             assert!(rep.clean(), "seed={seed} {:?} {:?}", rep.verdict, rep.violations);
             assert_eq!(rep.leader, Some(0));
         }

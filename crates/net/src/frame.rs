@@ -1,0 +1,222 @@
+//! Length-prefixed binary framing with CRC-32 integrity.
+//!
+//! Every unit on the wire is one frame:
+//!
+//! ```text
+//! ┌──────────┬──────────┬────────┬───────────┬───────────┐
+//! │ len: u32 │ seq: u64 │ kind:u8│  payload  │ crc32:u32 │
+//! │ (BE)     │ (BE)     │        │ (len-13 B)│ (BE)      │
+//! └──────────┴──────────┴────────┴───────────┴───────────┘
+//! ```
+//!
+//! `len` counts everything after itself (`seq` through `crc32`), so a
+//! reader can delimit frames without understanding them. The CRC covers
+//! `seq`, `kind`, and the payload; a frame whose checksum disagrees is
+//! rejected whole (the sender's retransmission timer recovers it). A
+//! `len` outside the sane window means the byte stream itself has
+//! desynchronized, which is unrecoverable without a reconnect.
+
+/// Frame kind: an in-order application message.
+pub const KIND_DATA: u8 = 0;
+/// Frame kind: a cumulative acknowledgment (`seq` = next expected).
+pub const KIND_ACK: u8 = 1;
+
+/// Bytes of a frame after the length prefix, excluding the payload:
+/// `seq` (8) + `kind` (1) + `crc32` (4).
+pub const FRAME_OVERHEAD: usize = 13;
+
+/// Largest accepted `len` value. Ring messages are a few bytes; anything
+/// near this limit is stream desynchronization, not data.
+pub const MAX_FRAME_LEN: usize = 64 * 1024;
+
+/// One decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// Per-link sequence number (DATA) or cumulative ack point (ACK).
+    pub seq: u64,
+    /// [`KIND_DATA`] or [`KIND_ACK`].
+    pub kind: u8,
+    /// Application bytes (empty for ACK frames).
+    pub payload: Vec<u8>,
+}
+
+/// Why a frame was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// Checksum mismatch: the frame is corrupt but the stream is still
+    /// delimited — skip the frame and let retransmission recover it.
+    BadCrc,
+    /// Unknown `kind` byte; skippable like a CRC failure.
+    BadKind,
+    /// The length prefix is impossible: the byte stream has
+    /// desynchronized and the connection must be torn down.
+    BadLength,
+}
+
+const CRC_POLY: u32 = 0xEDB8_8320; // reflected IEEE 802.3 polynomial
+
+const fn make_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 { CRC_POLY ^ (c >> 1) } else { c >> 1 };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = make_crc_table();
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = !0u32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Encodes one frame, length prefix included.
+pub fn encode_frame(seq: u64, kind: u8, payload: &[u8]) -> Vec<u8> {
+    let len = FRAME_OVERHEAD + payload.len();
+    let mut buf = Vec::with_capacity(4 + len);
+    buf.extend_from_slice(&(len as u32).to_be_bytes());
+    buf.extend_from_slice(&seq.to_be_bytes());
+    buf.push(kind);
+    buf.extend_from_slice(payload);
+    let crc = crc32(&buf[4..buf.len()]);
+    buf.extend_from_slice(&crc.to_be_bytes());
+    buf
+}
+
+/// Incremental frame parser over a byte stream.
+///
+/// Feed raw socket reads with [`extend`](FrameReader::extend), then drain
+/// complete frames with [`next_frame`](FrameReader::next_frame).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Buffered bytes not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete frame, if the buffer holds one.
+    ///
+    /// `Some(Err(BadCrc | BadKind))` consumes the offending frame — the
+    /// caller skips it and keeps parsing. `Some(Err(BadLength))` leaves
+    /// the buffer untouched; the caller must reset the connection.
+    pub fn next_frame(&mut self) -> Option<Result<Frame, FrameError>> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if !(FRAME_OVERHEAD..=MAX_FRAME_LEN).contains(&len) {
+            return Some(Err(FrameError::BadLength));
+        }
+        if self.buf.len() < 4 + len {
+            return None;
+        }
+        let body: Vec<u8> = self.buf.drain(..4 + len).skip(4).collect();
+        let (checked, crc_bytes) = body.split_at(len - 4);
+        let wire_crc = u32::from_be_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+        if crc32(checked) != wire_crc {
+            return Some(Err(FrameError::BadCrc));
+        }
+        let seq = u64::from_be_bytes(checked[..8].try_into().expect("8 seq bytes"));
+        let kind = checked[8];
+        if kind != KIND_DATA && kind != KIND_ACK {
+            return Some(Err(FrameError::BadKind));
+        }
+        Some(Ok(Frame { seq, kind, payload: checked[9..].to_vec() }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let bytes = encode_frame(42, KIND_DATA, b"hello");
+        let mut r = FrameReader::new();
+        r.extend(&bytes);
+        let f = r.next_frame().unwrap().unwrap();
+        assert_eq!(f, Frame { seq: 42, kind: KIND_DATA, payload: b"hello".to_vec() });
+        assert!(r.next_frame().is_none());
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn roundtrip_split_across_reads() {
+        let bytes = encode_frame(7, KIND_ACK, b"");
+        let mut r = FrameReader::new();
+        for chunk in bytes.chunks(3) {
+            r.extend(chunk);
+        }
+        let f = r.next_frame().unwrap().unwrap();
+        assert_eq!(f.seq, 7);
+        assert_eq!(f.kind, KIND_ACK);
+        assert!(f.payload.is_empty());
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected_and_stream_continues() {
+        let mut bytes = encode_frame(1, KIND_DATA, b"abc");
+        let good = encode_frame(2, KIND_DATA, b"xyz");
+        let flip = bytes.len() - 6; // inside the payload
+        bytes[flip] ^= 0x40;
+        bytes.extend_from_slice(&good);
+        let mut r = FrameReader::new();
+        r.extend(&bytes);
+        assert_eq!(r.next_frame(), Some(Err(FrameError::BadCrc)));
+        let f = r.next_frame().unwrap().unwrap();
+        assert_eq!(f.seq, 2);
+    }
+
+    #[test]
+    fn insane_length_is_fatal() {
+        let mut r = FrameReader::new();
+        r.extend(&(u32::MAX).to_be_bytes());
+        r.extend(&[0u8; 32]);
+        assert_eq!(r.next_frame(), Some(Err(FrameError::BadLength)));
+    }
+
+    #[test]
+    fn unknown_kind_is_skippable() {
+        let mut buf = encode_frame(3, KIND_DATA, b"q");
+        buf[4 + 8] = 9; // patch kind, then fix the CRC
+        let len = buf.len();
+        let crc = crc32(&buf[4..len - 4]);
+        buf[len - 4..].copy_from_slice(&crc.to_be_bytes());
+        let mut r = FrameReader::new();
+        r.extend(&buf);
+        assert_eq!(r.next_frame(), Some(Err(FrameError::BadKind)));
+    }
+}

@@ -1,0 +1,197 @@
+//! Transport-level metrics: what the wire actually did.
+//!
+//! The simulator's [`hre_sim::RunMetrics`] counts *logical* messages —
+//! the quantity the paper bounds. This module counts the physical cost
+//! of recovering the paper's link assumptions over a faulty wire:
+//! frames (including retransmissions and duplicates), bytes, reconnects,
+//! and round-trip times. Comparing the two layers is the point of the
+//! `exp_net` experiment.
+//!
+//! All counters are lock-free atomics so the TX and RX threads of a link
+//! never contend; the RTT histogram uses power-of-two microsecond
+//! buckets, each an atomic counter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ RTT buckets; bucket `i` covers `[2^i, 2^(i+1))` µs,
+/// with the last bucket absorbing everything larger.
+pub const RTT_BUCKETS: usize = 24;
+
+/// Live counters for one directed link (writer side and reader side
+/// update disjoint fields).
+#[derive(Debug, Default)]
+pub struct LinkMetrics {
+    /// DATA frames written to the socket (first transmissions only).
+    pub frames_sent: AtomicU64,
+    /// DATA frame transmission attempts beyond the first for a sequence
+    /// number — the retransmission/recovery traffic.
+    pub frames_retried: AtomicU64,
+    /// Bytes actually written to the socket, frames and acks alike.
+    pub bytes_on_wire: AtomicU64,
+    /// Successful (re)connections beyond the first.
+    pub reconnects: AtomicU64,
+    /// ACK frames written by the receiver.
+    pub acks_sent: AtomicU64,
+    /// DATA frames the receiver recognized as duplicates and dropped.
+    pub dup_frames_rx: AtomicU64,
+    /// Frames rejected for a bad checksum or unknown kind.
+    pub frames_rejected: AtomicU64,
+    /// Fault-injector actions other than `Deliver`.
+    pub faults_injected: AtomicU64,
+    rtt_count: AtomicU64,
+    rtt_sum_us: AtomicU64,
+    rtt_hist: [AtomicU64; RTT_BUCKETS],
+}
+
+impl LinkMetrics {
+    /// Records one clean (never-retransmitted) round-trip sample,
+    /// following Karn's rule: ambiguous samples from retransmitted
+    /// frames are excluded.
+    pub fn record_rtt(&self, rtt: Duration) {
+        let us = rtt.as_micros().min(u64::MAX as u128) as u64;
+        self.rtt_count.fetch_add(1, Ordering::Relaxed);
+        self.rtt_sum_us.fetch_add(us, Ordering::Relaxed);
+        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(RTT_BUCKETS - 1);
+        self.rtt_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LinkSnapshot {
+        let mut hist = [0u64; RTT_BUCKETS];
+        for (o, b) in hist.iter_mut().zip(self.rtt_hist.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        LinkSnapshot {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_retried: self.frames_retried.load(Ordering::Relaxed),
+            bytes_on_wire: self.bytes_on_wire.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            acks_sent: self.acks_sent.load(Ordering::Relaxed),
+            dup_frames_rx: self.dup_frames_rx.load(Ordering::Relaxed),
+            frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            rtt_count: self.rtt_count.load(Ordering::Relaxed),
+            rtt_sum_us: self.rtt_sum_us.load(Ordering::Relaxed),
+            rtt_hist: hist,
+        }
+    }
+}
+
+/// Frozen counters of one link at the end of a run.
+#[derive(Clone, Debug, Default)]
+pub struct LinkSnapshot {
+    /// See [`LinkMetrics::frames_sent`].
+    pub frames_sent: u64,
+    /// See [`LinkMetrics::frames_retried`].
+    pub frames_retried: u64,
+    /// See [`LinkMetrics::bytes_on_wire`].
+    pub bytes_on_wire: u64,
+    /// See [`LinkMetrics::reconnects`].
+    pub reconnects: u64,
+    /// See [`LinkMetrics::acks_sent`].
+    pub acks_sent: u64,
+    /// See [`LinkMetrics::dup_frames_rx`].
+    pub dup_frames_rx: u64,
+    /// See [`LinkMetrics::frames_rejected`].
+    pub frames_rejected: u64,
+    /// See [`LinkMetrics::faults_injected`].
+    pub faults_injected: u64,
+    /// Clean RTT samples taken (Karn's rule: retransmitted frames
+    /// contribute none).
+    pub rtt_count: u64,
+    /// Sum of those samples in microseconds.
+    pub rtt_sum_us: u64,
+    /// Log₂-µs histogram of those samples.
+    pub rtt_hist: [u64; RTT_BUCKETS],
+}
+
+impl LinkSnapshot {
+    /// Mean RTT over clean samples, if any were taken.
+    pub fn rtt_mean(&self) -> Option<Duration> {
+        (self.rtt_count > 0).then(|| Duration::from_micros(self.rtt_sum_us / self.rtt_count))
+    }
+
+    fn add(&mut self, other: &LinkSnapshot) {
+        self.frames_sent += other.frames_sent;
+        self.frames_retried += other.frames_retried;
+        self.bytes_on_wire += other.bytes_on_wire;
+        self.reconnects += other.reconnects;
+        self.acks_sent += other.acks_sent;
+        self.dup_frames_rx += other.dup_frames_rx;
+        self.frames_rejected += other.frames_rejected;
+        self.faults_injected += other.faults_injected;
+        self.rtt_count += other.rtt_count;
+        self.rtt_sum_us += other.rtt_sum_us;
+        for (o, b) in self.rtt_hist.iter_mut().zip(other.rtt_hist.iter()) {
+            *o += b;
+        }
+    }
+}
+
+/// All transport metrics of one run: per-link and aggregated.
+#[derive(Clone, Debug, Default)]
+pub struct NetSnapshot {
+    /// Link `i` carries messages from process `i` to process `i+1 mod n`.
+    pub links: Vec<LinkSnapshot>,
+    /// Sum over all links.
+    pub total: LinkSnapshot,
+}
+
+impl NetSnapshot {
+    /// Freezes the live per-link metrics.
+    pub fn collect(links: &[std::sync::Arc<LinkMetrics>]) -> NetSnapshot {
+        let links: Vec<LinkSnapshot> = links.iter().map(|l| l.snapshot()).collect();
+        let mut total = LinkSnapshot::default();
+        for l in &links {
+            total.add(l);
+        }
+        NetSnapshot { links, total }
+    }
+
+    /// Compact human-readable RTT histogram of the aggregate, listing
+    /// only occupied buckets.
+    pub fn rtt_histogram_pretty(&self) -> String {
+        let mut out = String::new();
+        for (i, &c) in self.total.rtt_hist.iter().enumerate() {
+            if c > 0 {
+                let lo = 1u64 << i;
+                out.push_str(&format!("    [{:>7}µs, {:>7}µs): {}\n", lo, lo << 1, c));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("    (no clean samples)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rtt_lands_in_log2_bucket() {
+        let m = LinkMetrics::default();
+        m.record_rtt(Duration::from_micros(5)); // bucket 2: [4, 8)
+        m.record_rtt(Duration::from_micros(1000)); // bucket 9: [512, 1024)
+        let s = m.snapshot();
+        assert_eq!(s.rtt_hist[2], 1);
+        assert_eq!(s.rtt_hist[9], 1);
+        assert_eq!(s.rtt_count, 2);
+        assert_eq!(s.rtt_mean(), Some(Duration::from_micros(502)));
+    }
+
+    #[test]
+    fn totals_sum_links() {
+        let a = Arc::new(LinkMetrics::default());
+        let b = Arc::new(LinkMetrics::default());
+        a.frames_sent.fetch_add(3, Ordering::Relaxed);
+        b.frames_sent.fetch_add(4, Ordering::Relaxed);
+        b.reconnects.fetch_add(1, Ordering::Relaxed);
+        let snap = NetSnapshot::collect(&[a, b]);
+        assert_eq!(snap.total.frames_sent, 7);
+        assert_eq!(snap.total.reconnects, 1);
+        assert_eq!(snap.links[0].frames_sent, 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! Byte codecs for the algorithms' message alphabets.
+//!
+//! Every ring algorithm keeps its own message enum; the socket runtime
+//! needs each of them as bytes inside a DATA frame. [`WireMessage`] is
+//! implemented here — not in the algorithm crates — so the algorithms
+//! stay wire-agnostic, exactly as they are simulator-agnostic.
+//!
+//! Encodings are tag-byte + big-endian fields. A decoder returns `None`
+//! on any malformed input (unknown tag, wrong length); the runtime
+//! counts such frames as rejected and drops them, leaving recovery to
+//! retransmission.
+
+use hre_baselines::{CrMsg, OracleMsg, PetersonMsg};
+use hre_core::{AkMsg, BkMsg};
+use hre_words::Label;
+
+/// A message that can cross a socket: encode to bytes, decode back.
+///
+/// Implementations must round-trip: `decode(encode(m)) == Some(m)`.
+pub trait WireMessage: Sized + Send + 'static {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Parses one message from exactly `bytes`; `None` if malformed.
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+fn put_label(buf: &mut Vec<u8>, l: Label) {
+    buf.extend_from_slice(&l.raw().to_be_bytes());
+}
+
+fn get_label(bytes: &[u8]) -> Option<Label> {
+    Some(Label::new(u64::from_be_bytes(bytes.try_into().ok()?)))
+}
+
+impl WireMessage for AkMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            AkMsg::Token(x) => {
+                buf.push(0);
+                put_label(buf, *x);
+            }
+            AkMsg::Finish => buf.push(1),
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes.split_first()? {
+            (0, rest) => Some(AkMsg::Token(get_label(rest)?)),
+            (1, []) => Some(AkMsg::Finish),
+            _ => None,
+        }
+    }
+}
+
+impl WireMessage for BkMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let (tag, x) = match self {
+            BkMsg::Token(x) => (0, x),
+            BkMsg::PhaseShift(x) => (1, x),
+            BkMsg::Finish(x) => (2, x),
+        };
+        buf.push(tag);
+        put_label(buf, *x);
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let (tag, rest) = bytes.split_first()?;
+        let x = get_label(rest)?;
+        match tag {
+            0 => Some(BkMsg::Token(x)),
+            1 => Some(BkMsg::PhaseShift(x)),
+            2 => Some(BkMsg::Finish(x)),
+            _ => None,
+        }
+    }
+}
+
+impl WireMessage for CrMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let (tag, x) = match self {
+            CrMsg::Cand(x) => (0, x),
+            CrMsg::Finish(x) => (1, x),
+        };
+        buf.push(tag);
+        put_label(buf, *x);
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let (tag, rest) = bytes.split_first()?;
+        let x = get_label(rest)?;
+        match tag {
+            0 => Some(CrMsg::Cand(x)),
+            1 => Some(CrMsg::Finish(x)),
+            _ => None,
+        }
+    }
+}
+
+impl WireMessage for PetersonMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let (tag, x) = match self {
+            PetersonMsg::Cand(x) => (0, x),
+            PetersonMsg::Finish(x) => (1, x),
+        };
+        buf.push(tag);
+        put_label(buf, *x);
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        let (tag, rest) = bytes.split_first()?;
+        let x = get_label(rest)?;
+        match tag {
+            0 => Some(PetersonMsg::Cand(x)),
+            1 => Some(PetersonMsg::Finish(x)),
+            _ => None,
+        }
+    }
+}
+
+impl WireMessage for OracleMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            OracleMsg::Token(x, hops) => {
+                buf.push(0);
+                put_label(buf, *x);
+                buf.extend_from_slice(&hops.to_be_bytes());
+            }
+            OracleMsg::Finish(x) => {
+                buf.push(1);
+                put_label(buf, *x);
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        match bytes.split_first()? {
+            (0, rest) if rest.len() == 12 => {
+                let x = get_label(&rest[..8])?;
+                let hops = u32::from_be_bytes(rest[8..].try_into().ok()?);
+                Some(OracleMsg::Token(x, hops))
+            }
+            (1, rest) => Some(OracleMsg::Finish(get_label(rest)?)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt<M: WireMessage + PartialEq + std::fmt::Debug>(m: M) {
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        assert_eq!(M::decode(&buf), Some(m));
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let l = Label::new(0xDEAD_BEEF_u64);
+        rt(AkMsg::Token(l));
+        rt(AkMsg::Finish);
+        rt(BkMsg::Token(l));
+        rt(BkMsg::PhaseShift(l));
+        rt(BkMsg::Finish(l));
+        rt(CrMsg::Cand(l));
+        rt(CrMsg::Finish(l));
+        rt(PetersonMsg::Cand(l));
+        rt(PetersonMsg::Finish(l));
+        rt(OracleMsg::Token(l, 31));
+        rt(OracleMsg::Finish(l));
+    }
+
+    #[test]
+    fn malformed_is_rejected_not_misparsed() {
+        assert_eq!(AkMsg::decode(&[]), None);
+        assert_eq!(AkMsg::decode(&[0, 1, 2]), None); // short label
+        assert_eq!(AkMsg::decode(&[1, 0]), None); // trailing junk on Finish
+        assert_eq!(AkMsg::decode(&[7]), None); // unknown tag
+        assert_eq!(BkMsg::decode(&[3, 0, 0, 0, 0, 0, 0, 0, 1]), None);
+        assert_eq!(OracleMsg::decode(&[0, 0, 0, 0, 0, 0, 0, 0, 1]), None); // missing hops
+    }
+}

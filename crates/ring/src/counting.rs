@@ -14,9 +14,9 @@ pub fn moebius(n: u64) -> i64 {
     let mut primes = 0;
     let mut d = 2;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             n /= d;
-            if n % d == 0 {
+            if n.is_multiple_of(d) {
                 return 0; // squared factor
             }
             primes += 1;
@@ -36,7 +36,7 @@ pub fn moebius(n: u64) -> i64 {
 /// Divisors of `n`, ascending.
 pub fn divisors(n: u64) -> Vec<u64> {
     assert!(n >= 1);
-    let mut out: Vec<u64> = (1..=n).filter(|d| n % d == 0).collect();
+    let mut out: Vec<u64> = (1..=n).filter(|d| n.is_multiple_of(*d)).collect();
     out.sort_unstable();
     out
 }
@@ -45,10 +45,8 @@ pub fn divisors(n: u64) -> Vec<u64> {
 /// alphabet of `a` letters: `Σ_{d|n} μ(d)·a^{n/d}`.
 pub fn primitive_word_count(n: u64, a: u64) -> u64 {
     assert!(n >= 1 && a >= 1);
-    let total: i128 = divisors(n)
-        .into_iter()
-        .map(|d| moebius(d) as i128 * (a as i128).pow((n / d) as u32))
-        .sum();
+    let total: i128 =
+        divisors(n).into_iter().map(|d| moebius(d) as i128 * (a as i128).pow((n / d) as u32)).sum();
     assert!(total >= 0);
     total as u64
 }

@@ -31,9 +31,7 @@ pub fn asymmetric_labelings(n: usize, alphabet: u64) -> Vec<RingLabeling> {
 /// All asymmetric labelings in `Kk` of length `n` over `{0, …, alphabet−1}`
 /// — the class `A ∩ Kk` restricted to this finite family.
 pub fn a_inter_kk_labelings(n: usize, alphabet: u64, k: usize) -> Vec<RingLabeling> {
-    all_labelings(n, alphabet)
-        .filter(|r| r.is_asymmetric() && r.in_kk(k))
-        .collect()
+    all_labelings(n, alphabet).filter(|r| r.is_asymmetric() && r.in_kk(k)).collect()
 }
 
 /// One canonical representative per rotation class (necklace): labelings
@@ -42,9 +40,7 @@ pub fn a_inter_kk_labelings(n: usize, alphabet: u64, k: usize) -> Vec<RingLabeli
 /// to re-indexing.
 pub fn canonical_asymmetric_labelings(n: usize, alphabet: u64) -> Vec<RingLabeling> {
     all_labelings(n, alphabet)
-        .filter(|r| {
-            r.is_asymmetric() && hre_words::least_rotation(r.labels()) == 0
-        })
+        .filter(|r| r.is_asymmetric() && hre_words::least_rotation(r.labels()) == 0)
         .collect()
 }
 
@@ -65,7 +61,7 @@ pub fn canonical_asymmetric_labelings_fast(n: usize, alphabet: u8) -> Vec<RingLa
 /// All permutations of `{0, …, n−1}` as `K1` labelings (fully identified
 /// rings). `n!` of them; keep `n ≤ 7`.
 pub fn all_k1_labelings(n: usize) -> Vec<RingLabeling> {
-    assert!(n >= 2 && n <= 9, "n! blows up");
+    assert!((2..=9).contains(&n), "n! blows up");
     let mut out = Vec::new();
     let mut perm: Vec<u64> = (0..n as u64).collect();
     heap_permutations(&mut perm, n, &mut out);
@@ -79,7 +75,7 @@ fn heap_permutations(perm: &mut Vec<u64>, k: usize, out: &mut Vec<RingLabeling>)
     }
     for i in 0..k {
         heap_permutations(perm, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             perm.swap(i, k - 1);
         } else {
             perm.swap(0, k - 1);
@@ -137,9 +133,7 @@ mod tests {
             for a in 2..=3u8 {
                 let mut slow = canonical_asymmetric_labelings(n, a as u64);
                 let mut fast = canonical_asymmetric_labelings_fast(n, a);
-                let key = |r: &RingLabeling| {
-                    r.labels().iter().map(|l| l.raw()).collect::<Vec<_>>()
-                };
+                let key = |r: &RingLabeling| r.labels().iter().map(|l| l.raw()).collect::<Vec<_>>();
                 slow.sort_by_key(|r| key(r));
                 fast.sort_by_key(|r| key(r));
                 assert_eq!(slow, fast, "n={n} a={a}");
@@ -168,10 +162,8 @@ mod tests {
             assert!(r.all_distinct());
         }
         // all distinct labelings
-        let mut raws: Vec<Vec<u64>> = rings
-            .iter()
-            .map(|r| r.labels().iter().map(|l| l.raw()).collect())
-            .collect();
+        let mut raws: Vec<Vec<u64>> =
+            rings.iter().map(|r| r.labels().iter().map(|l| l.raw()).collect()).collect();
         raws.sort();
         raws.dedup();
         assert_eq!(raws.len(), 24);
@@ -184,9 +176,6 @@ mod tests {
             assert!(r.in_kk(2));
         }
         // k = n imposes nothing beyond asymmetry
-        assert_eq!(
-            a_inter_kk_labelings(4, 2, 4).len(),
-            asymmetric_labelings(4, 2).len()
-        );
+        assert_eq!(a_inter_kk_labelings(4, 2, 4).len(), asymmetric_labelings(4, 2).len());
     }
 }

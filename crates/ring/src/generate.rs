@@ -22,12 +22,7 @@ pub fn random_k1<R: Rng>(n: usize, rng: &mut R) -> RingLabeling {
 /// A random asymmetric ring in `Kk` over an alphabet of `alphabet` labels,
 /// by rejection sampling. Panics if the parameters make the class empty or
 /// astronomically unlikely (`alphabet ≥ 2` and `alphabet · k ≥ n` required).
-pub fn random_a_inter_kk<R: Rng>(
-    n: usize,
-    k: usize,
-    alphabet: u64,
-    rng: &mut R,
-) -> RingLabeling {
+pub fn random_a_inter_kk<R: Rng>(n: usize, k: usize, alphabet: u64, rng: &mut R) -> RingLabeling {
     assert!(n >= 2);
     assert!(k >= 1);
     assert!(alphabet >= 2, "one-letter rings are never asymmetric for n >= 2");

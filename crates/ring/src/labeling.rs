@@ -1,8 +1,6 @@
 //! The [`RingLabeling`] type and the paper's derived notions.
 
-use hre_words::{
-    is_lyndon, is_primitive, max_multiplicity, multiplicities, rotate_left, Label,
-};
+use hre_words::{is_lyndon, is_primitive, max_multiplicity, multiplicities, rotate_left, Label};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -195,10 +193,7 @@ mod tests {
 
     #[test]
     fn try_new_is_fallible() {
-        assert_eq!(
-            RingLabeling::try_new(vec![Label::new(1)]).unwrap_err(),
-            RingError::TooShort
-        );
+        assert_eq!(RingLabeling::try_new(vec![Label::new(1)]).unwrap_err(), RingError::TooShort);
         assert!(RingLabeling::try_new(vec![Label::new(1), Label::new(2)]).is_ok());
         assert_eq!(format!("{}", RingError::TooShort), "a ring needs at least two processes");
     }

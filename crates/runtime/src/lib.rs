@@ -18,29 +18,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+pub mod driver;
+
+pub use driver::{drive_node, NodeTransport, RecvFault, SendFault, ThreadOutcome};
+
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender,
+};
 use hre_ring::RingLabeling;
-use hre_sim::{Algorithm, ElectionState, Outbox, ProcessBehavior, Reaction};
+use hre_sim::{Algorithm, ElectionState, ProcessBehavior};
 use hre_words::Label;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// How one process's thread ended.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ThreadOutcome {
-    /// The process halted (local termination decision).
-    Halted,
-    /// The process ignored its head message — permanently disabled.
-    Wedged,
-    /// No message arrived within the idle timeout (livelock / lost peers).
-    TimedOut,
-    /// The incoming channel disconnected before the process halted.
-    Disconnected,
-    /// A bounded link stayed full past the send timeout (backpressure
-    /// stall) — only possible with [`ThreadedOptions::channel_capacity`].
-    Stalled,
-}
 
 /// Result of one threaded execution.
 #[derive(Clone, Debug)]
@@ -76,11 +66,7 @@ impl ThreadedReport {
         }
         let Some(l) = self.leader() else { return false };
         let lid = self.elections[l].leader;
-        lid.is_some()
-            && self
-                .elections
-                .iter()
-                .all(|e| e.done && e.halted && e.leader == lid)
+        lid.is_some() && self.elections.iter().all(|e| e.done && e.halted && e.leader == lid)
     }
 }
 
@@ -109,6 +95,35 @@ impl Default for ThreadedOptions {
             idle_timeout: Duration::from_secs(10),
             channel_capacity: None,
             send_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One ring node's links realized as crossbeam channels: the
+/// [`NodeTransport`] of the in-process runtime.
+struct ChannelTransport<M> {
+    tx: Sender<M>,
+    rx: Receiver<M>,
+    send_timeout: Duration,
+}
+
+impl<M> NodeTransport<M> for ChannelTransport<M> {
+    fn send(&mut self, msg: M) -> Result<(), SendFault> {
+        // The receiver may already have halted and dropped its endpoint;
+        // the message is then provably irrelevant (the halted process would
+        // never have received it), so a disconnect is swallowed. A timeout,
+        // however, is a genuine backpressure stall.
+        match self.tx.send_timeout(msg, self.send_timeout) {
+            Ok(()) | Err(SendTimeoutError::Disconnected(_)) => Ok(()),
+            Err(SendTimeoutError::Timeout(_)) => Err(SendFault::Stalled),
+        }
+    }
+
+    fn recv(&mut self, idle: Duration) -> Result<M, RecvFault> {
+        match self.rx.recv_timeout(idle) {
+            Ok(msg) => Ok(msg),
+            Err(RecvTimeoutError::Timeout) => Err(RecvFault::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(RecvFault::Disconnected),
         }
     }
 }
@@ -148,24 +163,9 @@ where
         let idle = opts.idle_timeout;
         let send_timeout = opts.send_timeout;
         handles.push(std::thread::spawn(move || {
-            let mut out = Outbox::new();
-            proc.on_start(&mut out);
-            let outcome = loop {
-                if !flush(&tx, &mut out, &sent, send_timeout) {
-                    break ThreadOutcome::Stalled;
-                }
-                if proc.election().halted {
-                    break ThreadOutcome::Halted;
-                }
-                match rx.recv_timeout(idle) {
-                    Ok(msg) => match proc.on_msg(&msg, &mut out) {
-                        Reaction::Consumed => {}
-                        Reaction::Ignored => break ThreadOutcome::Wedged,
-                    },
-                    Err(RecvTimeoutError::Timeout) => break ThreadOutcome::TimedOut,
-                    Err(RecvTimeoutError::Disconnected) => break ThreadOutcome::Disconnected,
-                }
-            };
+            let mut transport = ChannelTransport { tx, rx, send_timeout };
+            let (outcome, sent_here) = drive_node(&mut proc, &mut transport, idle);
+            sent.fetch_add(sent_here, Ordering::Relaxed);
             // Channels drop here; peers past their own halt never notice.
             (proc, outcome)
         }));
@@ -187,28 +187,12 @@ where
     }
 }
 
-/// Sends the outbox; returns `false` on a backpressure stall (bounded
-/// links only).
-fn flush<M>(tx: &Sender<M>, out: &mut Outbox<M>, sent: &AtomicU64, timeout: Duration) -> bool {
-    let msgs = std::mem::take(out).into_msgs();
-    let count = msgs.len() as u64;
-    for m in msgs {
-        // The receiver may already have halted and dropped its endpoint;
-        // the message is then provably irrelevant (the halted process would
-        // never have received it), so a disconnect error is ignored. A
-        // timeout, however, is a genuine stall.
-        match tx.send_timeout(m, timeout) {
-            Ok(()) | Err(SendTimeoutError::Disconnected(_)) => {}
-            Err(SendTimeoutError::Timeout(_)) => return false,
-        }
-    }
-    sent.fetch_add(count, Ordering::Relaxed);
-    true
-}
-
 /// Convenience: spawn-and-check one algorithm on one ring; panics with a
 /// diagnostic if the run is not clean. Used by examples.
-pub fn run_threaded_expect_leader<A>(algo: &A, ring: &RingLabeling) -> (usize, Label, ThreadedReport)
+pub fn run_threaded_expect_leader<A>(
+    algo: &A,
+    ring: &RingLabeling,
+) -> (usize, Label, ThreadedReport)
 where
     A: Algorithm,
     A::Proc: Send + 'static,
@@ -252,12 +236,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..5 {
             let ring = generate::random_a_inter_kk(8, 3, 3, &mut rng);
-            let sim = run(
-                &Ak::new(3),
-                &ring,
-                &mut RoundRobinSched::default(),
-                RunOptions::default(),
-            );
+            let sim =
+                run(&Ak::new(3), &ring, &mut RoundRobinSched::default(), RunOptions::default());
             let thr = run_threaded(&Ak::new(3), &ring, ThreadedOptions::default());
             assert!(sim.clean() && thr.clean());
             assert_eq!(thr.leader(), sim.leader, "{ring:?}");
@@ -327,6 +307,6 @@ mod tests {
             ThreadedOptions { idle_timeout: Duration::from_millis(200), ..Default::default() },
         );
         assert!(!rep.clean());
-        assert!(rep.outcomes.iter().any(|o| *o == ThreadOutcome::TimedOut));
+        assert!(rep.outcomes.contains(&ThreadOutcome::TimedOut));
     }
 }

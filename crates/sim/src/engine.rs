@@ -269,9 +269,8 @@ impl<P: ProcessBehavior> Network<P> {
         if self.slots.iter().enumerate().any(|(i, _)| self.enabled(i)) {
             return None;
         }
-        let any_pending_at_live = (0..self.n()).any(|i| {
-            !self.links[i].queue.is_empty() && !self.slots[i].proc.election().halted
-        });
+        let any_pending_at_live = (0..self.n())
+            .any(|i| !self.links[i].queue.is_empty() && !self.slots[i].proc.election().halted);
         if any_pending_at_live {
             return Some(TerminalKind::Deadlock);
         }
@@ -304,11 +303,7 @@ impl<P: ProcessBehavior> Network<P> {
             return Some(Fired::Started { sent });
         }
         // Offer the head message.
-        let head = self.links[i]
-            .queue
-            .front()
-            .expect("enabled implies head present")
-            .clone();
+        let head = self.links[i].queue.front().expect("enabled implies head present").clone();
         let mut out = Outbox::new();
         let reaction = self.slots[i].proc.on_msg(&head.msg, &mut out);
         match reaction {
@@ -326,10 +321,7 @@ impl<P: ProcessBehavior> Network<P> {
                 Some(Fired::Received { msg: inflight.msg, sent })
             }
             Reaction::Ignored => {
-                assert!(
-                    out.is_empty(),
-                    "an action that does not fire must not send messages"
-                );
+                assert!(out.is_empty(), "an action that does not fire must not send messages");
                 self.slots[i].wedged = true;
                 Some(Fired::Wedged { head: head.msg })
             }
@@ -496,8 +488,7 @@ mod tests {
             assert_eq!(e.leader, Some(Label::new(5)));
         }
         // exactly one leader, at index 4
-        let leaders: Vec<usize> =
-            (0..5).filter(|&i| net.election(i).is_leader).collect();
+        let leaders: Vec<usize> = (0..5).filter(|&i| net.election(i).is_leader).collect();
         assert_eq!(leaders, vec![4]);
     }
 

@@ -125,8 +125,7 @@ where
                 Some(TerminalKind::AllHalted) => {}
                 _ => report.bad_termination = true,
             }
-            let leaders: Vec<usize> =
-                (0..net.n()).filter(|&i| net.election(i).is_leader).collect();
+            let leaders: Vec<usize> = (0..net.n()).filter(|&i| net.election(i).is_leader).collect();
             let this = (leaders.len() == 1).then(|| leaders[0]);
             match (report.terminal_leader, this) {
                 (None, Some(l)) if !leaders_disagree => report.terminal_leader = Some(l),
@@ -243,13 +242,11 @@ mod tests {
                     if (h as usize) < self.n - 2 {
                         out.send(MiniMsg::Tok(x, h + 1));
                     }
-                    if self.seen == self.n - 1 {
-                        if self.best == self.id {
-                            self.st.is_leader = true;
-                            self.st.leader = Some(self.id);
-                            self.st.done = true;
-                            out.send(MiniMsg::Fin(self.id));
-                        }
+                    if self.seen == self.n - 1 && self.best == self.id {
+                        self.st.is_leader = true;
+                        self.st.leader = Some(self.id);
+                        self.st.done = true;
+                        out.send(MiniMsg::Fin(self.id));
                     }
                     Reaction::Consumed
                 }

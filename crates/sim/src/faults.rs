@@ -69,11 +69,13 @@ impl FaultPlan {
         let mut d = FaultDecision { drop: false, duplicate: false, swap_with_previous: false };
         for rule in &self.rules {
             match *rule {
-                LinkFault::DropEveryNth(n) if n > 0 && self.counter % n == 0 => d.drop = true,
-                LinkFault::DuplicateEveryNth(n) if n > 0 && self.counter % n == 0 => {
+                LinkFault::DropEveryNth(n) if n > 0 && self.counter.is_multiple_of(n) => {
+                    d.drop = true
+                }
+                LinkFault::DuplicateEveryNth(n) if n > 0 && self.counter.is_multiple_of(n) => {
                     d.duplicate = true
                 }
-                LinkFault::SwapEveryNth(n) if n > 0 && self.counter % n == 0 => {
+                LinkFault::SwapEveryNth(n) if n > 0 && self.counter.is_multiple_of(n) => {
                     d.swap_with_previous = true
                 }
                 _ => {}

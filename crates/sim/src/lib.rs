@@ -45,6 +45,8 @@ pub use run::{
     run, run_faulty, run_with_delays, run_with_observer, satisfies_message_terminating, Observer,
     RunOptions, RunReport, Verdict,
 };
-pub use sched::{Adversary, AdversarialSched, RandomSched, RoundRobinSched, Scheduler, Selection, SyncSched};
+pub use sched::{
+    AdversarialSched, Adversary, RandomSched, RoundRobinSched, Scheduler, Selection, SyncSched,
+};
 pub use spec::{SpecMonitor, SpecViolation};
 pub use trace::{ActionEvent, EventKind, Trace};

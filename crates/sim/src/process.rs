@@ -43,12 +43,8 @@ pub struct ElectionState {
 
 impl ElectionState {
     /// The initial state required by the specification.
-    pub const INITIAL: ElectionState = ElectionState {
-        is_leader: false,
-        leader: None,
-        done: false,
-        halted: false,
-    };
+    pub const INITIAL: ElectionState =
+        ElectionState { is_leader: false, leader: None, done: false, halted: false };
 }
 
 /// Buffer of messages a single action sends to the right neighbor.

@@ -447,13 +447,8 @@ mod tests {
         }
         let algo = KnownN { n: 5 };
         let mut counter = Counter(0);
-        let rep = run_with_observer(
-            &algo,
-            &ring5(),
-            &mut SyncSched,
-            RunOptions::default(),
-            &mut counter,
-        );
+        let rep =
+            run_with_observer(&algo, &ring5(), &mut SyncSched, RunOptions::default(), &mut counter);
         assert_eq!(counter.0, rep.metrics.actions);
     }
 }

@@ -80,11 +80,7 @@ pub struct RoundRobinSched {
 impl Scheduler for RoundRobinSched {
     fn select(&mut self, enabled: &[usize]) -> Selection {
         // smallest enabled index >= cursor, else smallest enabled
-        let pick = enabled
-            .iter()
-            .copied()
-            .find(|&i| i >= self.cursor)
-            .unwrap_or(enabled[0]);
+        let pick = enabled.iter().copied().find(|&i| i >= self.cursor).unwrap_or(enabled[0]);
         self.cursor = pick + 1;
         Selection::One(pick)
     }
@@ -138,11 +134,9 @@ pub struct AdversarialSched {
 impl Scheduler for AdversarialSched {
     fn select(&mut self, enabled: &[usize]) -> Selection {
         let pick = match self.strategy {
-            Adversary::Starve(victim) => enabled
-                .iter()
-                .copied()
-                .find(|&i| i != victim)
-                .unwrap_or(enabled[0]),
+            Adversary::Starve(victim) => {
+                enabled.iter().copied().find(|&i| i != victim).unwrap_or(enabled[0])
+            }
             Adversary::LowestFirst => enabled[0],
             Adversary::HighestFirst => *enabled.last().unwrap(),
         };

@@ -135,7 +135,10 @@ impl SpecMonitor {
             if !old.done && new.done && !any_leader {
                 self.violations.push(SpecViolation::DoneWithoutLeader { pid });
             }
-            if old.halted && (old.done != new.done || old.is_leader != new.is_leader || old.leader != new.leader)
+            if old.halted
+                && (old.done != new.done
+                    || old.is_leader != new.is_leader
+                    || old.leader != new.leader)
             {
                 self.violations.push(SpecViolation::ActedAfterHalt { pid });
             }
@@ -148,17 +151,12 @@ impl SpecMonitor {
         match terminal {
             Some(TerminalKind::AllHalted) => {}
             Some(kind) => self.violations.push(SpecViolation::BadTermination { kind }),
-            None => self.violations.push(SpecViolation::BadTermination {
-                kind: TerminalKind::QuiescentNotHalted,
-            }),
+            None => self
+                .violations
+                .push(SpecViolation::BadTermination { kind: TerminalKind::QuiescentNotHalted }),
         }
-        let leaders: Vec<usize> = self
-            .prev
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_leader)
-            .map(|(i, _)| i)
-            .collect();
+        let leaders: Vec<usize> =
+            self.prev.iter().enumerate().filter(|(_, s)| s.is_leader).map(|(i, _)| i).collect();
         match leaders.as_slice() {
             [] => self.violations.push(SpecViolation::NoLeaderAtEnd),
             [single] => {
@@ -187,9 +185,7 @@ impl SpecMonitor {
                     });
                 }
             }
-            many => self
-                .violations
-                .push(SpecViolation::MultipleLeaders { leaders: many.to_vec() }),
+            many => self.violations.push(SpecViolation::MultipleLeaders { leaders: many.to_vec() }),
         }
     }
 
@@ -237,10 +233,9 @@ mod tests {
             st(true, Some(2), true, false),
             st(false, None, false, false),
         ]);
-        assert!(m
-            .violations()
-            .iter()
-            .any(|v| matches!(v, SpecViolation::MultipleLeaders { leaders } if leaders == &vec![0, 1])));
+        assert!(m.violations().iter().any(
+            |v| matches!(v, SpecViolation::MultipleLeaders { leaders } if leaders == &vec![0, 1])
+        ));
     }
 
     #[test]
@@ -248,7 +243,10 @@ mod tests {
         let mut m = SpecMonitor::new(initial(1));
         m.observe(&[st(true, Some(1), true, false)]);
         m.observe(&[st(false, Some(1), true, false)]);
-        assert!(m.violations().iter().any(|v| matches!(v, SpecViolation::LeaderRevoked { pid: 0 })));
+        assert!(m
+            .violations()
+            .iter()
+            .any(|v| matches!(v, SpecViolation::LeaderRevoked { pid: 0 })));
     }
 
     #[test]
@@ -293,9 +291,10 @@ mod tests {
         let mut m = SpecMonitor::new(initial(2));
         m.observe(&[st(true, Some(1), true, true), st(false, Some(2), true, true)]);
         m.finish(Some(TerminalKind::AllHalted));
-        assert!(m.violations().iter().any(
-            |v| matches!(v, SpecViolation::WrongLeaderVariable { pid: 1, .. })
-        ));
+        assert!(m
+            .violations()
+            .iter()
+            .any(|v| matches!(v, SpecViolation::WrongLeaderVariable { pid: 1, .. })));
     }
 
     #[test]

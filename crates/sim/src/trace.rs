@@ -87,8 +87,7 @@ impl<M: Clone + Debug> Trace<M> {
                 EventKind::Receive(m) => ("receive", format!("{m:?}")),
                 EventKind::Wedge(m) => ("wedge", format!("{m:?}")),
             };
-            let sent: Vec<String> =
-                e.sent.iter().map(|m| json_string(&format!("{m:?}"))).collect();
+            let sent: Vec<String> = e.sent.iter().map(|m| json_string(&format!("{m:?}"))).collect();
             out.push_str(&format!(
                 "{{\"seq\":{},\"step\":{},\"pid\":{},\"kind\":{},\"msg\":{},\"sent\":[{}],\"clock\":{}}}\n",
                 e.seq,

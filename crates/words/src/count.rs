@@ -91,11 +91,7 @@ mod tests {
         let seqs: [&[u8]; 5] = [b"", b"a", b"aab", b"abcabcabc", b"zzzzz"];
         for s in seqs {
             for c in 0..8 {
-                assert_eq!(
-                    has_label_with_count(s, c),
-                    max_multiplicity(s) >= c,
-                    "s={s:?} c={c}"
-                );
+                assert_eq!(has_label_with_count(s, c), max_multiplicity(s) >= c, "s={s:?} c={c}");
             }
         }
     }

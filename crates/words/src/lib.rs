@@ -33,7 +33,9 @@ mod lyndon;
 mod period;
 mod rotation;
 
-pub use count::{distinct_labels, has_label_with_count, max_multiplicity, multiplicities, occurrences};
+pub use count::{
+    distinct_labels, has_label_with_count, max_multiplicity, multiplicities, occurrences,
+};
 pub use label::{labels, Label, LabelVec};
 pub use lyndon::{
     duval_factorization, is_lyndon, least_rotation, least_rotation_naive, lyndon_rotation,

@@ -134,10 +134,7 @@ pub fn least_rotation_naive<T: Ord + Clone>(sigma: &[T]) -> usize {
 /// paper uses in Algorithm `Ak` (`LW(srp(p.string))`). Panics if `sigma` is
 /// not primitive, mirroring the paper's precondition (asymmetric ring).
 pub fn lyndon_rotation<T: Ord + Clone>(sigma: &[T]) -> Vec<T> {
-    assert!(
-        is_primitive(sigma),
-        "LW(σ) requires a primitive sequence (asymmetric ring labeling)"
-    );
+    assert!(is_primitive(sigma), "LW(σ) requires a primitive sequence (asymmetric ring labeling)");
     let d = least_rotation(sigma);
     let rot = rotate_left(sigma, d);
     debug_assert!(is_lyndon(&rot));
@@ -327,9 +324,7 @@ mod tests {
         for len in 1..=10usize {
             for bits in 0u32..(1 << len) {
                 let s: Vec<u8> = (0..len).map(|i| ((bits >> i) & 1) as u8).collect();
-                let lyndon_rots = (0..len)
-                    .filter(|&d| is_lyndon(&rotate_left(&s, d)))
-                    .count();
+                let lyndon_rots = (0..len).filter(|&d| is_lyndon(&rotate_left(&s, d))).count();
                 if is_primitive(&s) {
                     assert_eq!(lyndon_rots, 1, "s={s:?}");
                 } else {

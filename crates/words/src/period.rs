@@ -69,9 +69,7 @@ pub fn srp_len<T: Eq>(sigma: &[T]) -> usize {
 /// such that `m` is a period.
 pub fn srp_len_naive<T: Eq>(sigma: &[T]) -> usize {
     assert!(!sigma.is_empty(), "srp of the empty sequence is undefined");
-    (1..=sigma.len())
-        .find(|&m| is_period(sigma, m))
-        .expect("|σ| itself is always a period")
+    (1..=sigma.len()).find(|&m| is_period(sigma, m)).expect("|σ| itself is always a period")
 }
 
 /// The smallest repeating prefix `srp(σ)` itself, as a slice of `σ`.

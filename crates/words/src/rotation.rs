@@ -31,9 +31,7 @@ pub fn rotations<T: Clone>(sigma: &[T]) -> Vec<Vec<T>> {
 /// labeling is symmetric.
 pub fn rotational_symmetries<T: Eq>(sigma: &[T]) -> Vec<usize> {
     let n = sigma.len();
-    (0..n)
-        .filter(|&d| (0..n).all(|i| sigma[(i + d) % n] == sigma[i]))
-        .collect()
+    (0..n).filter(|&d| (0..n).all(|i| sigma[(i + d) % n] == sigma[i])).collect()
 }
 
 /// Returns `true` iff `sigma` is primitive (no non-trivial rotational
@@ -54,7 +52,7 @@ pub fn is_primitive<T: Eq>(sigma: &[T]) -> bool {
         return false;
     }
     let p = srp_len(sigma);
-    !(p < n && n % p == 0)
+    !(p < n && n.is_multiple_of(p))
 }
 
 /// Naive reference for [`is_primitive`]: checks every candidate divisor
@@ -65,7 +63,7 @@ pub fn is_primitive_naive<T: Eq>(sigma: &[T]) -> bool {
         return false;
     }
     for d in 1..n {
-        if n % d == 0 && (0..n).all(|i| sigma[(i + d) % n] == sigma[i]) {
+        if n.is_multiple_of(d) && (0..n).all(|i| sigma[(i + d) % n] == sigma[i]) {
             return false;
         }
     }

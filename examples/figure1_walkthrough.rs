@@ -19,39 +19,33 @@ fn main() {
     println!("ring  : {ring}   (paper Figure 1, k = {k})");
 
     let table = reconstruct_phases(&ring, k);
-    println!("leader: p{} after {} phases (X = 9 in the paper's numbering)", table.leader, table.leader_phases);
+    println!(
+        "leader: p{} after {} phases (X = 9 in the paper's numbering)",
+        table.leader, table.leader_phases
+    );
     println!();
 
-    let mut out = Table::new(
-        ["phase", "active (white)", "guests p0..p7", "matches Fig. 1"].iter().copied(),
-    );
+    let mut out =
+        Table::new(["phase", "active (white)", "guests p0..p7", "matches Fig. 1"].iter().copied());
     let expected = figure1_expected();
     for phase in 1..=table.phases() {
-        let active: Vec<String> =
-            table.active_set(phase).iter().map(|p| format!("p{p}")).collect();
+        let active: Vec<String> = table.active_set(phase).iter().map(|p| format!("p{p}")).collect();
         let guests: Vec<String> = (0..ring.n())
-            .map(|p| {
-                table
-                    .guest(phase, p)
-                    .map(|g| g.to_string())
-                    .unwrap_or_else(|| "-".into())
-            })
+            .map(|p| table.guest(phase, p).map(|g| g.to_string()).unwrap_or_else(|| "-".into()))
             .collect();
         let verdict = if phase <= expected.len() {
             let (exp_active, exp_guests) = &expected[phase - 1];
             let ok = table.active_set(phase) == *exp_active
-                && (0..ring.n())
-                    .all(|p| table.guest(phase, p) == Some(Label::new(exp_guests[p])));
-            if ok { "✓" } else { "✗" }
+                && (0..ring.n()).all(|p| table.guest(phase, p) == Some(Label::new(exp_guests[p])));
+            if ok {
+                "✓"
+            } else {
+                "✗"
+            }
         } else {
             "(beyond figure)"
         };
-        out.row([
-            phase.to_string(),
-            active.join(","),
-            guests.join(","),
-            verdict.to_string(),
-        ]);
+        out.row([phase.to_string(), active.join(","), guests.join(","), verdict.to_string()]);
     }
     println!("{out}");
 

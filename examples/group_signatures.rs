@@ -15,8 +15,7 @@
 
 use homonym_rings::prelude::*;
 
-const TEAMS: [(&str, u64); 4] =
-    [("auth", 10), ("billing", 20), ("catalog", 30), ("delivery", 40)];
+const TEAMS: [(&str, u64); 4] = [("auth", 10), ("billing", 20), ("catalog", 30), ("delivery", 40)];
 
 fn team_name(label: Label) -> &'static str {
     TEAMS.iter().find(|(_, raw)| Label::new(*raw) == label).map(|(n, _)| *n).unwrap_or("?")
@@ -25,12 +24,13 @@ fn team_name(label: Label) -> &'static str {
 fn main() {
     // The ring, in message-flow order. Each entry is a replica carrying
     // only its team signature; teams have 2–4 replicas each.
-    let ring = RingLabeling::from_raw(&[
-        10, 20, 10, 30, 20, 40, 10, 30, 20, 40, 10, 30,
-    ]);
+    let ring = RingLabeling::from_raw(&[10, 20, 10, 30, 20, 40, 10, 30, 20, 40, 10, 30]);
 
     let c = classify(&ring);
-    println!("{} replicas, {} teams, multiplicity k = {}", c.n, c.distinct_labels, c.max_multiplicity);
+    println!(
+        "{} replicas, {} teams, multiplicity k = {}",
+        c.n, c.distinct_labels, c.max_multiplicity
+    );
     assert!(c.asymmetric, "this arrangement has no rotational symmetry");
     assert!(!c.has_unique_label, "no replica is individually identifiable");
 
@@ -40,14 +40,8 @@ fn main() {
     let rep = run(&Ak::new(k), &ring, &mut RandomSched::new(7), RunOptions::default());
     assert!(rep.clean());
     let leader = rep.leader.unwrap();
-    println!(
-        "elected coordinator: replica #{leader} (team '{}')",
-        team_name(ring.label(leader))
-    );
-    println!(
-        "cost: {} messages, {} time units",
-        rep.metrics.messages, rep.metrics.time_units
-    );
+    println!("elected coordinator: replica #{leader} (team '{}')", team_name(ring.label(leader)));
+    println!("cost: {} messages, {} time units", rep.metrics.messages, rep.metrics.time_units);
 
     // Every replica agrees on the *signature* of the coordinator — which is
     // all the protocol ever exposes. Intra-team anonymity is preserved: the

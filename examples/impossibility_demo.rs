@@ -33,8 +33,7 @@ fn main() {
         println!("  constructed R(n,k)   : {} processes, in U* ∩ K{}", cert.big.n(), cert.k);
         match cert.two_leaders_step {
             Some(step) => {
-                let leaders: Vec<String> =
-                    cert.leaders.iter().map(|l| format!("q{l}")).collect();
+                let leaders: Vec<String> = cert.leaders.iter().map(|l| format!("q{l}")).collect();
                 println!(
                     "  💥 at synchronous step {step}: {} simultaneously claim leadership",
                     leaders.join(" and ")

@@ -34,10 +34,7 @@ fn main() {
     println!("ring: {ring}   (k = {k}, true leader p{victim})");
     println!();
 
-    for (name, run_algo) in [
-        ("Ak", true),
-        ("Bk", false),
-    ] {
+    for (name, run_algo) in [("Ak", true), ("Bk", false)] {
         let mut table = Table::new(["scheduler", "leader", "messages", "time", "steps"]);
         let mut baseline: Option<(Option<usize>, u64, u64)> = None;
         for mut sched in schedulers(victim) {

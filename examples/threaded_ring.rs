@@ -20,16 +20,14 @@ fn main() {
         let ring = random_exact_multiplicity(n, k, &mut rng);
 
         // Simulator reference.
-        let sim_ak = run(&Ak::new(k), &ring, &mut RoundRobinSched::default(), RunOptions::default());
+        let sim_ak =
+            run(&Ak::new(k), &ring, &mut RoundRobinSched::default(), RunOptions::default());
         assert!(sim_ak.clean());
 
         // Threads.
         let t0 = Instant::now();
-        let thr = homonym_rings::runtime::run_threaded(
-            &Ak::new(k),
-            &ring,
-            ThreadedOptions::default(),
-        );
+        let thr =
+            homonym_rings::runtime::run_threaded(&Ak::new(k), &ring, ThreadedOptions::default());
         let wall = t0.elapsed();
         assert!(thr.clean(), "{:?}", thr.outcomes);
         assert_eq!(thr.leader(), sim_ak.leader, "threaded and simulated disagree");

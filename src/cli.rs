@@ -23,9 +23,12 @@ USAGE:
   hre elect --ring L0,L1,... --algo A      run an election
         --algo ak|ak-ref|bk|cr|peterson|oracle-n
         [--k K]              multiplicity bound (default: the ring's actual; bk needs >= 2)
-        [--sched S]          sync | rr | random:SEED | starve:PID  (default rr)
-        [--phases]           print Bk's phase table (bk only)
-        [--diagram]          print the virtual-time activity grid of the run
+        [--transport T]      sim | threads | tcp  (default sim)
+        [--sched S]          sync | rr | random:SEED | starve:PID  (sim only, default rr)
+        [--faults F]         none | stress — transport-fault mix (tcp only, default none)
+        [--fault-seed S]     seed for the fault schedules (tcp only, default 0)
+        [--phases]           print Bk's phase table (bk + sim only)
+        [--diagram]          print the virtual-time activity grid of the run (sim only)
   hre generate --n N [--k K] [--class C] [--seed S]   print a random ring
         --class a-kk|k1|ustar|exact        (default a-kk)
   hre impossibility --n N [--k0 K] [--seed S]         run the Theorem 1 adversary
@@ -124,15 +127,22 @@ fn elect_cmd(opts: &Opts) -> Result<String, String> {
     let ring = ring_from(opts)?;
     let algo = opts.get("algo").map(String::as_str).unwrap_or("ak");
     let k = u64_opt(opts, "k", ring.max_multiplicity() as u64)? as usize;
+    match opts.get("transport").map(String::as_str).unwrap_or("sim") {
+        "sim" => reject_tcp_only_flags(opts, "sim")?,
+        "threads" => {
+            reject_tcp_only_flags(opts, "threads")?;
+            return elect_threads_cmd(opts, &ring, algo, k);
+        }
+        "tcp" => return elect_tcp_cmd(opts, &ring, algo, k),
+        other => return Err(format!("unknown transport '{other}'")),
+    }
     let mut sched = sched_from(opts)?;
     let want_diagram = opts.contains_key("diagram");
     let run_opts = RunOptions { record_trace: want_diagram, ..Default::default() };
 
     let (clean, leader, metrics, violations, diagram) = match algo {
         "ak" => summarize(run(&Ak::new(k.max(1)), &ring, &mut sched, run_opts)),
-        "ak-ref" => {
-            summarize(run(&AkReference::new(k.max(1)), &ring, &mut sched, run_opts))
-        }
+        "ak-ref" => summarize(run(&AkReference::new(k.max(1)), &ring, &mut sched, run_opts)),
         "bk" => summarize(run(&Bk::new(k.max(2)), &ring, &mut sched, run_opts)),
         "cr" => summarize(run(&ChangRoberts, &ring, &mut sched, run_opts)),
         "peterson" => summarize(run(&Peterson, &ring, &mut sched, run_opts)),
@@ -185,13 +195,131 @@ fn elect_cmd(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
-type Summary = (
-    bool,
-    Option<usize>,
-    crate::sim::RunMetrics,
-    Vec<crate::sim::SpecViolation>,
-    Option<String>,
-);
+fn reject_sim_only_flags(opts: &Opts) -> Result<(), String> {
+    for key in ["sched", "phases", "diagram"] {
+        if opts.contains_key(key) {
+            return Err(format!("--{key} applies only to --transport sim"));
+        }
+    }
+    Ok(())
+}
+
+fn reject_tcp_only_flags(opts: &Opts, transport: &str) -> Result<(), String> {
+    for key in ["faults", "fault-seed"] {
+        if opts.contains_key(key) {
+            return Err(format!("--{key} applies only to --transport tcp, not {transport}"));
+        }
+    }
+    Ok(())
+}
+
+fn render_outcome(ring: &RingLabeling, clean: bool, leader: Option<usize>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", render_ring(ring, leader));
+    match leader {
+        Some(l) => {
+            let _ = writeln!(
+                out,
+                "elected p{l} (label {}) — spec {}",
+                ring.label(l),
+                if clean { "satisfied" } else { "VIOLATED" }
+            );
+        }
+        None => {
+            let _ = writeln!(out, "no unique leader — spec VIOLATED");
+        }
+    }
+    out
+}
+
+fn elect_threads_cmd(
+    opts: &Opts,
+    ring: &RingLabeling,
+    algo: &str,
+    k: usize,
+) -> Result<String, String> {
+    reject_sim_only_flags(opts)?;
+    let t = ThreadedOptions::default();
+    let rep = match algo {
+        "ak" => run_threaded(&Ak::new(k.max(1)), ring, t),
+        "ak-ref" => run_threaded(&AkReference::new(k.max(1)), ring, t),
+        "bk" => run_threaded(&Bk::new(k.max(2)), ring, t),
+        "cr" => run_threaded(&ChangRoberts, ring, t),
+        "peterson" => run_threaded(&Peterson, ring, t),
+        "oracle-n" => run_threaded(&OracleN::new(ring.n()), ring, t),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let mut out = render_outcome(ring, rep.clean(), rep.leader());
+    let _ = writeln!(
+        out,
+        "threads transport: {} messages | wall {:.3} ms",
+        rep.messages,
+        rep.wall.as_secs_f64() * 1e3
+    );
+    if !rep.clean() {
+        return Err(format!("{out}election did not satisfy the specification"));
+    }
+    Ok(out)
+}
+
+fn elect_tcp_cmd(opts: &Opts, ring: &RingLabeling, algo: &str, k: usize) -> Result<String, String> {
+    reject_sim_only_flags(opts)?;
+    let faults = match opts.get("faults").map(String::as_str).unwrap_or("none") {
+        "none" => FaultPolicy::NONE,
+        "stress" => FaultPolicy::stress(),
+        other => return Err(format!("unknown fault mix '{other}' (none | stress)")),
+    };
+    let nopts =
+        NetOptions { faults, fault_seed: u64_opt(opts, "fault-seed", 0)?, ..Default::default() };
+    let rep = match algo {
+        "ak" => run_tcp(&Ak::new(k.max(1)), ring, nopts),
+        "ak-ref" => run_tcp(&AkReference::new(k.max(1)), ring, nopts),
+        "bk" => run_tcp(&Bk::new(k.max(2)), ring, nopts),
+        "cr" => run_tcp(&ChangRoberts, ring, nopts),
+        "peterson" => run_tcp(&Peterson, ring, nopts),
+        "oracle-n" => run_tcp(&OracleN::new(ring.n()), ring, nopts),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+    let mut out = render_outcome(ring, rep.clean(), rep.leader());
+    let t = &rep.net.total;
+    let _ = writeln!(
+        out,
+        "tcp transport: {} logical messages | wall {:.3} ms",
+        rep.messages,
+        rep.wall.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(
+        out,
+        "  wire: {} frames (+{} retries), {} acks, {} bytes, {} reconnects",
+        t.frames_sent, t.frames_retried, t.acks_sent, t.bytes_on_wire, t.reconnects
+    );
+    let _ = writeln!(
+        out,
+        "  recovery: {} duplicate frames suppressed, {} frames rejected, {} faults injected",
+        t.dup_frames_rx, t.frames_rejected, t.faults_injected
+    );
+    match t.rtt_mean() {
+        Some(mean) => {
+            let _ = writeln!(
+                out,
+                "  rtt: {} clean samples, mean {:.0} µs",
+                t.rtt_count,
+                mean.as_secs_f64() * 1e6
+            );
+            out.push_str(&rep.net.rtt_histogram_pretty());
+        }
+        None => {
+            let _ = writeln!(out, "  rtt: no clean samples (every frame was retransmitted)");
+        }
+    }
+    if !rep.clean() {
+        return Err(format!("{out}election did not satisfy the specification"));
+    }
+    Ok(out)
+}
+
+type Summary =
+    (bool, Option<usize>, crate::sim::RunMetrics, Vec<crate::sim::SpecViolation>, Option<String>);
 
 fn summarize<M: Clone + std::fmt::Debug>(rep: RunReport<M>) -> Summary {
     let diagram = rep.trace.as_ref().map(|t| render_activity_grid(t, rep.metrics.n));
@@ -309,8 +437,8 @@ mod tests {
 
     #[test]
     fn parse_splits_command_and_options() {
-        let (cmd, opts) = parse(&args(&["elect", "--ring", "1,2,2", "--k", "2", "--phases"]))
-            .expect("parses");
+        let (cmd, opts) =
+            parse(&args(&["elect", "--ring", "1,2,2", "--k", "2", "--phases"])).expect("parses");
         assert_eq!(cmd, "elect");
         assert_eq!(opts.get("ring").unwrap(), "1,2,2");
         assert_eq!(opts.get("k").unwrap(), "2");
@@ -346,6 +474,87 @@ mod tests {
     }
 
     #[test]
+    fn elect_over_threads_transport() {
+        let out = run_cli(&[
+            "elect",
+            "--ring",
+            "1,2,2",
+            "--algo",
+            "ak",
+            "--k",
+            "2",
+            "--transport",
+            "threads",
+        ])
+        .unwrap();
+        assert!(out.contains("elected p0"), "{out}");
+        assert!(out.contains("threads transport"), "{out}");
+    }
+
+    #[test]
+    fn elect_over_tcp_transport() {
+        let out = run_cli(&[
+            "elect",
+            "--ring",
+            "1,2,2",
+            "--algo",
+            "ak",
+            "--k",
+            "2",
+            "--transport",
+            "tcp",
+        ])
+        .unwrap();
+        assert!(out.contains("elected p0"), "{out}");
+        assert!(out.contains("tcp transport"), "{out}");
+        assert!(out.contains("wire:"), "{out}");
+        assert!(out.contains("rtt:"), "{out}");
+    }
+
+    #[test]
+    fn elect_over_tcp_with_stress_faults() {
+        let out = run_cli(&[
+            "elect",
+            "--ring",
+            "1,3,1,3,2,2,1,2",
+            "--algo",
+            "bk",
+            "--k",
+            "3",
+            "--transport",
+            "tcp",
+            "--faults",
+            "stress",
+            "--fault-seed",
+            "42",
+        ])
+        .unwrap();
+        assert!(out.contains("elected p0"), "{out}");
+        assert!(out.contains("faults injected"), "{out}");
+        // The wire was hostile yet the spec held.
+        assert!(out.contains("spec satisfied"), "{out}");
+    }
+
+    #[test]
+    fn transport_rejects_sim_only_flags_and_unknowns() {
+        let err = run_cli(&["elect", "--ring", "1,2,2", "--transport", "tcp", "--sched", "sync"])
+            .unwrap_err();
+        assert!(err.contains("--sched"), "{err}");
+        let err =
+            run_cli(&["elect", "--ring", "1,2,2", "--transport", "carrier-pigeon"]).unwrap_err();
+        assert!(err.contains("unknown transport"), "{err}");
+        let err = run_cli(&["elect", "--ring", "1,2,2", "--transport", "tcp", "--faults", "wat"])
+            .unwrap_err();
+        assert!(err.contains("unknown fault mix"), "{err}");
+        let err = run_cli(&["elect", "--ring", "1,2,2", "--faults", "stress"]).unwrap_err();
+        assert!(err.contains("--faults applies only to --transport tcp"), "{err}");
+        let err =
+            run_cli(&["elect", "--ring", "1,2,2", "--transport", "threads", "--fault-seed", "7"])
+                .unwrap_err();
+        assert!(err.contains("--fault-seed applies only to --transport tcp"), "{err}");
+    }
+
+    #[test]
     fn elect_reports_failures_as_errors() {
         // Chang-Roberts on homonyms: double election -> Err.
         let err = run_cli(&["elect", "--ring", "5,1,5,2", "--algo", "cr"]).unwrap_err();
@@ -355,7 +564,14 @@ mod tests {
     #[test]
     fn elect_with_phases_and_diagram() {
         let out = run_cli(&[
-            "elect", "--ring", "1,3,1,3,2,2,1,2", "--algo", "bk", "--k", "3", "--phases",
+            "elect",
+            "--ring",
+            "1,3,1,3,2,2,1,2",
+            "--algo",
+            "bk",
+            "--k",
+            "3",
+            "--phases",
             "--diagram",
         ])
         .unwrap();
@@ -373,10 +589,9 @@ mod tests {
     #[test]
     fn generate_each_class() {
         for class in ["k1", "ustar", "exact", "a-kk"] {
-            let out = run_cli(&[
-                "generate", "--n", "8", "--k", "3", "--class", class, "--seed", "5",
-            ])
-            .unwrap();
+            let out =
+                run_cli(&["generate", "--n", "8", "--k", "3", "--class", class, "--seed", "5"])
+                    .unwrap();
             assert!(out.contains("n=8"), "{class}: {out}");
         }
         assert!(run_cli(&["generate", "--n", "8", "--class", "bogus"]).is_err());

@@ -36,6 +36,7 @@
 //! | [`core`] | `hre-core` | Algorithms `Ak` (Table 1) and `Bk` (Table 2 / Figure 2) |
 //! | [`baselines`] | `hre-baselines` | Chang–Roberts, Peterson, known-`n` Lyndon election |
 //! | [`runtime`] | `hre-runtime` | One-thread-per-process crossbeam-channel runtime |
+//! | [`net`] | `hre-net` | TCP socket runtime: framing, fault injection, FIFO/exactly-once recovery |
 //! | [`analysis`] | `hre-analysis` | Executable lower bound / impossibility proofs, figure reconstruction |
 
 #![forbid(unsafe_code)]
@@ -46,6 +47,7 @@ pub mod cli;
 pub use hre_analysis as analysis;
 pub use hre_baselines as baselines;
 pub use hre_core as core;
+pub use hre_net as net;
 pub use hre_ring as ring;
 pub use hre_runtime as runtime;
 pub use hre_sim as sim;
@@ -56,10 +58,11 @@ pub mod prelude {
     pub use hre_analysis::{demonstrate_impossibility, reconstruct_phases, Table};
     pub use hre_baselines::{BoundedN, ChangRoberts, MtAk, OracleN, Peterson};
     pub use hre_core::{Ak, AkReference, Bk};
+    pub use hre_net::{run_tcp, FaultPolicy, NetOptions, NetReport};
     pub use hre_ring::{classify, generate, RingLabeling};
     pub use hre_runtime::{run_threaded, ThreadedOptions};
     pub use hre_sim::{
-        explore, run, run_faulty, satisfies_message_terminating, Adversary, AdversarialSched,
+        explore, run, run_faulty, satisfies_message_terminating, AdversarialSched, Adversary,
         ExploreReport, FaultPlan, LinkFault, RandomSched, RoundRobinSched, RunOptions, RunReport,
         SyncSched, Verdict,
     };

@@ -39,8 +39,7 @@ fn ak_and_bk_agree_across_schedulers_and_runtimes() {
         }
 
         // Real threads agree with the simulator.
-        let thr: ThreadedReport =
-            run_threaded(&Ak::new(k), &ring, ThreadedOptions::default());
+        let thr: ThreadedReport = run_threaded(&Ak::new(k), &ring, ThreadedOptions::default());
         assert!(thr.clean());
         assert_eq!(thr.leader(), Some(expected));
     }
@@ -52,12 +51,8 @@ fn oracle_and_core_algorithms_elect_the_same_process() {
     for _ in 0..8 {
         let ring = generate::random_a_inter_kk(10, 3, 4, &mut rng);
         let ak = run(&Ak::new(3), &ring, &mut RoundRobinSched::default(), RunOptions::default());
-        let oracle = run(
-            &OracleN::new(10),
-            &ring,
-            &mut RoundRobinSched::default(),
-            RunOptions::default(),
-        );
+        let oracle =
+            run(&OracleN::new(10), &ring, &mut RoundRobinSched::default(), RunOptions::default());
         assert!(ak.clean() && oracle.clean());
         assert_eq!(ak.leader, oracle.leader, "{ring:?}");
     }
@@ -69,9 +64,12 @@ fn identified_baselines_work_where_core_algorithms_also_work() {
     // winners by design). Their runs must all be clean.
     let mut rng = StdRng::seed_from_u64(77);
     let ring = generate::random_k1(12, &mut rng);
-    assert!(run(&ChangRoberts, &ring, &mut RoundRobinSched::default(), RunOptions::default()).clean());
+    assert!(
+        run(&ChangRoberts, &ring, &mut RoundRobinSched::default(), RunOptions::default()).clean()
+    );
     assert!(run(&Peterson, &ring, &mut RoundRobinSched::default(), RunOptions::default()).clean());
-    assert!(run(&OracleN::new(12), &ring, &mut RoundRobinSched::default(), RunOptions::default()).clean());
+    assert!(run(&OracleN::new(12), &ring, &mut RoundRobinSched::default(), RunOptions::default())
+        .clean());
     assert!(run(&Ak::new(1), &ring, &mut RoundRobinSched::default(), RunOptions::default()).clean());
     assert!(run(&Bk::new(2), &ring, &mut RoundRobinSched::default(), RunOptions::default()).clean());
 }

@@ -16,10 +16,7 @@ fn check_ak(ring: &RingLabeling, k: usize) {
     let m = &rep.metrics;
     assert!(m.time_units <= (2 * k64 + 2) * n, "Ak time on {ring:?}: {m}");
     assert!(m.messages <= n * n * (2 * k64 + 1) + n, "Ak messages on {ring:?}: {m}");
-    assert!(
-        m.peak_space_bits <= (2 * k64 + 1) * n * b + 2 * b + 3,
-        "Ak space on {ring:?}: {m}"
-    );
+    assert!(m.peak_space_bits <= (2 * k64 + 1) * n * b + 2 * b + 3, "Ak space on {ring:?}: {m}");
 }
 
 fn check_bk(ring: &RingLabeling, k: usize) {
@@ -31,10 +28,7 @@ fn check_bk(ring: &RingLabeling, k: usize) {
     let (n, k64, b) = (ring.n() as u64, k as u64, ring.label_bits() as u64);
     let m = &rep.metrics;
     assert!(m.time_units <= (k64 + 1) * (k64 + 1) * n * n, "Bk time on {ring:?}: {m}");
-    assert!(
-        m.messages <= 4 * (k64 + 1) * (k64 + 1) * n * n,
-        "Bk messages on {ring:?}: {m}"
-    );
+    assert!(m.messages <= 4 * (k64 + 1) * (k64 + 1) * n * n, "Bk messages on {ring:?}: {m}");
     let log_k = ((k64 - 1).max(1).ilog2() + 1) as u64;
     assert_eq!(m.peak_space_bits, 2 * log_k + 3 * b + 5, "Bk space on {ring:?}");
 }

@@ -25,7 +25,6 @@ struct AkThresholdMutant {
 #[derive(Clone)]
 struct MutProc {
     id: Label,
-    k: usize,
     threshold: usize,
     skip_leader_guard: bool,
     string: Vec<Label>,
@@ -46,7 +45,6 @@ impl Algorithm for AkThresholdMutant {
     fn spawn(&self, label: Label) -> MutProc {
         MutProc {
             id: label,
-            k: self.k,
             threshold: self.k + 1, // BUG: should be 2k+1
             skip_leader_guard: false,
             string: Vec::new(),
@@ -69,7 +67,6 @@ impl Algorithm for AkGuardMutant {
     fn spawn(&self, label: Label) -> MutProc {
         MutProc {
             id: label,
-            k: self.k,
             threshold: 2 * self.k + 1,
             skip_leader_guard: true, // BUG: srp = LW(srp) check dropped
             string: Vec::new(),
@@ -91,8 +88,7 @@ impl ProcessBehavior for MutProc {
                 self.string.push(x);
                 let heavy =
                     homonym_rings::words::has_label_with_count(&self.string, self.threshold);
-                let decided =
-                    heavy && (self.skip_leader_guard || is_lyndon(srp(&self.string)));
+                let decided = heavy && (self.skip_leader_guard || is_lyndon(srp(&self.string)));
                 if decided {
                     self.st.is_leader = true;
                     self.st.leader = Some(self.id);
@@ -105,9 +101,7 @@ impl ProcessBehavior for MutProc {
             }
             (MutMsg::Finish, false) => {
                 let period = srp(&self.string);
-                let lw = homonym_rings::words::lyndon_rotation(
-                    &period.to_vec(),
-                );
+                let lw = homonym_rings::words::lyndon_rotation(period);
                 self.st.leader = Some(lw[0]);
                 self.st.done = true;
                 out.send(MutMsg::Finish);
@@ -231,7 +225,6 @@ fn unmutated_clone_behaves_like_ak() {
         fn spawn(&self, label: Label) -> MutProc {
             MutProc {
                 id: label,
-                k: self.k,
                 threshold: 2 * self.k + 1,
                 skip_leader_guard: false,
                 string: Vec::new(),

@@ -1,0 +1,250 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships the slice of `criterion` its benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `throughput` /
+//! `bench_with_input` / `bench_function`, `BenchmarkId`, `Throughput`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Statistics are intentionally simple: each benchmark is warmed up, then
+//! timed over enough iterations to fill a small measurement budget; the
+//! mean, min, and max per-iteration times are printed. There are no HTML
+//! reports, no outlier analysis, and no baseline comparisons — the point
+//! is that `cargo bench` runs everywhere and prints honest numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, choosing an iteration count that fills the
+    /// measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: run until we know roughly how long one
+        // iteration takes.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < Duration::from_millis(50) && calib_iters < 1_000_000 {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed() / calib_iters.max(1) as u32;
+        // Measurement: aim for ~200ms or 10 iterations, whichever is more.
+        let budget = Duration::from_millis(200);
+        let iters = if per_iter.is_zero() {
+            10_000
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(10, 10_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn report(group: Option<&str>, id: &str, throughput: Option<Throughput>, b: &Bencher) {
+    let Some((total, iters)) = b.measured else {
+        println!("warning: benchmark '{id}' never called Bencher::iter");
+        return;
+    };
+    let mean = total / iters.max(1) as u32;
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if !mean.is_zero() => {
+            format!("  {:.1} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if !mean.is_zero() => {
+            format!("  {:.1} MiB/s", n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0))
+        }
+        _ => String::new(),
+    };
+    println!("{name:<50} time: {:>12}  ({iters} iters){rate}", fmt_duration(mean));
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the nominal sample count (accepted for API compatibility; the
+    /// vendored harness sizes iterations by time budget instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { measured: None };
+        routine(&mut b, input);
+        report(Some(&self.name), &id.id, self.throughput, &b);
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { measured: None };
+        routine(&mut b);
+        report(Some(&self.name), &id.to_string(), self.throughput, &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { _criterion: self, name, throughput: None }
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { measured: None };
+        routine(&mut b);
+        report(None, &id.to_string(), None, &b);
+        self
+    }
+}
+
+/// Declares a group function invoking each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("test/group");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(64));
+        g.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| black_box(7) * 6));
+        g.finish();
+    }
+
+    criterion_group!(benches, quick_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

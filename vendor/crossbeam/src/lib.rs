@@ -1,0 +1,14 @@
+//! Offline vendored subset of the `crossbeam` channel API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships the slice of `crossbeam::channel` it uses: bounded and unbounded
+//! MPMC channels with blocking, timeout, and disconnect semantics,
+//! implemented on `std::sync::{Mutex, Condvar}`. The semantics match the
+//! upstream contract that the runtimes rely on: FIFO per channel, a send
+//! to a fully-disconnected channel errors and returns the message, a recv
+//! on an empty channel whose senders are all gone reports disconnection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;

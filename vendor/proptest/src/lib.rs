@@ -1,0 +1,131 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships the slice of `proptest` its test suites use: the [`proptest!`]
+//! macro, the `prop_assert*` family, [`strategy::Strategy`] with
+//! `prop_map`, integer-range and tuple strategies, [`arbitrary::any`],
+//! [`collection::vec`], and [`test_runner::ProptestConfig`].
+//!
+//! Differences from upstream, deliberate for an offline test harness:
+//!
+//! * **No shrinking.** A failing case panics with the generated input's
+//!   `Debug` form; inputs are reproducible because generation is seeded
+//!   deterministically per test case index.
+//! * **No persistence.** `*.proptest-regressions` files are ignored.
+//! * Case count comes from the config (default 256) or the
+//!   `PROPTEST_CASES` environment variable, like upstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// One-stop imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// Supports an optional leading `#![proptest_config(expr)]`, then any
+/// number of `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal: expands each test item of a [`proptest!`] block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $pat:pat in $strat:expr ),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategy = ( $( $strat, )* );
+            $crate::test_runner::run_cases(
+                &__config,
+                stringify!($name),
+                &__strategy,
+                |__values| {
+                    let ( $( $pat, )* ) = __values;
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (with the
+/// generated input attached) rather than unwinding.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), __l, __r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n {}",
+            stringify!($left), stringify!($right), __l, format!($($fmt)*)
+        );
+    }};
+}

@@ -1,0 +1,136 @@
+//! Case execution: config, RNG, and the driver the `proptest!` macro calls.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test (upstream default: 256).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed test case (produced by the `prop_assert*` macros).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given explanation.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// The seeded generator handed to strategies.
+///
+/// Seeding is deterministic per (test name, case index), so a failing case
+/// reproduces on rerun without any persistence file.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for one case of one named test.
+    pub fn for_test(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+    }
+
+    /// Access to the underlying generator (for strategy implementations).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// Runs `cases` generated inputs through `body`, panicking on the first
+/// failure with the input's `Debug` form. Honors `PROPTEST_CASES`.
+pub fn run_cases<S, F>(config: &ProptestConfig, test_name: &str, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(config.cases)
+        .max(1);
+    for case in 0..cases {
+        let mut rng = TestRng::for_test(test_name, case as u64);
+        let value = strategy.generate(&mut rng);
+        let rendered = format!("{value:?}");
+        if let Err(e) = body(value) {
+            panic!(
+                "proptest: test '{test_name}' failed at case {case}/{cases}\n\
+                 input: {rendered}\n{e}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_case_same_value() {
+        use crate::strategy::Strategy;
+        let s = 0u64..u64::MAX;
+        let a = s.generate(&mut TestRng::for_test("t", 3));
+        let b = s.generate(&mut TestRng::for_test("t", 3));
+        let c = s.generate(&mut TestRng::for_test("t", 4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn run_cases_runs_and_reports() {
+        let mut count = 0u32;
+        run_cases(&ProptestConfig::with_cases(17), "counting", &(0u8..10), |v| {
+            count += 1;
+            assert!(v < 10);
+            Ok(())
+        });
+        assert!(count >= 1); // exact count depends on PROPTEST_CASES
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_case_panics_with_input() {
+        run_cases(&ProptestConfig::with_cases(50), "fails", &(0u8..10), |v| {
+            if v >= 5 {
+                Err(TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        });
+    }
+}
