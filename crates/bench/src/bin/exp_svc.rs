@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e19_svc`.
+fn main() {
+    print!("{}", hre_bench::experiments::e19_svc::report());
+}

@@ -18,6 +18,7 @@ pub mod e15_distribution;
 pub mod e16_model_check;
 pub mod e17_scale;
 pub mod e18_net;
+pub mod e19_svc;
 
 /// Runs every experiment in order and concatenates the reports — the body
 /// of `EXPERIMENTS.md`.
@@ -63,5 +64,9 @@ pub fn all() -> Vec<Experiment> {
         ),
         ("E17 — scale: asymptotic shapes at n up to 512", e17_scale::report),
         ("E18 — TCP socket runtime agreement and fault recovery", e18_net::report),
+        (
+            "E19 — election-as-a-service agreement and canonical-rotation cache speedup",
+            e19_svc::report,
+        ),
     ]
 }

@@ -8,15 +8,16 @@
 //! `exp_net` experiment.
 //!
 //! All counters are lock-free atomics so the TX and RX threads of a link
-//! never contend; the RTT histogram uses power-of-two microsecond
-//! buckets, each an atomic counter.
+//! never contend; the RTT histogram is the shared
+//! [`hre_runtime::Log2Histogram`] (power-of-two microsecond buckets),
+//! the same type the election service uses for request latency.
 
+use hre_runtime::{HistSnapshot, Log2Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Number of log₂ RTT buckets; bucket `i` covers `[2^i, 2^(i+1))` µs,
-/// with the last bucket absorbing everything larger.
-pub const RTT_BUCKETS: usize = 24;
+/// Number of log₂ RTT buckets (re-exported from the shared histogram).
+pub const RTT_BUCKETS: usize = hre_runtime::LOG2_BUCKETS;
 
 /// Live counters for one directed link (writer side and reader side
 /// update disjoint fields).
@@ -39,9 +40,7 @@ pub struct LinkMetrics {
     pub frames_rejected: AtomicU64,
     /// Fault-injector actions other than `Deliver`.
     pub faults_injected: AtomicU64,
-    rtt_count: AtomicU64,
-    rtt_sum_us: AtomicU64,
-    rtt_hist: [AtomicU64; RTT_BUCKETS],
+    rtt: Log2Histogram,
 }
 
 impl LinkMetrics {
@@ -49,18 +48,10 @@ impl LinkMetrics {
     /// following Karn's rule: ambiguous samples from retransmitted
     /// frames are excluded.
     pub fn record_rtt(&self, rtt: Duration) {
-        let us = rtt.as_micros().min(u64::MAX as u128) as u64;
-        self.rtt_count.fetch_add(1, Ordering::Relaxed);
-        self.rtt_sum_us.fetch_add(us, Ordering::Relaxed);
-        let bucket = (64 - us.max(1).leading_zeros() as usize - 1).min(RTT_BUCKETS - 1);
-        self.rtt_hist[bucket].fetch_add(1, Ordering::Relaxed);
+        self.rtt.record(rtt);
     }
 
     fn snapshot(&self) -> LinkSnapshot {
-        let mut hist = [0u64; RTT_BUCKETS];
-        for (o, b) in hist.iter_mut().zip(self.rtt_hist.iter()) {
-            *o = b.load(Ordering::Relaxed);
-        }
         LinkSnapshot {
             frames_sent: self.frames_sent.load(Ordering::Relaxed),
             frames_retried: self.frames_retried.load(Ordering::Relaxed),
@@ -70,9 +61,7 @@ impl LinkMetrics {
             dup_frames_rx: self.dup_frames_rx.load(Ordering::Relaxed),
             frames_rejected: self.frames_rejected.load(Ordering::Relaxed),
             faults_injected: self.faults_injected.load(Ordering::Relaxed),
-            rtt_count: self.rtt_count.load(Ordering::Relaxed),
-            rtt_sum_us: self.rtt_sum_us.load(Ordering::Relaxed),
-            rtt_hist: hist,
+            rtt: self.rtt.snapshot(),
         }
     }
 }
@@ -96,19 +85,15 @@ pub struct LinkSnapshot {
     pub frames_rejected: u64,
     /// See [`LinkMetrics::faults_injected`].
     pub faults_injected: u64,
-    /// Clean RTT samples taken (Karn's rule: retransmitted frames
-    /// contribute none).
-    pub rtt_count: u64,
-    /// Sum of those samples in microseconds.
-    pub rtt_sum_us: u64,
-    /// Log₂-µs histogram of those samples.
-    pub rtt_hist: [u64; RTT_BUCKETS],
+    /// Clean RTT samples (Karn's rule: retransmitted frames contribute
+    /// none), as a frozen log₂-µs histogram.
+    pub rtt: HistSnapshot,
 }
 
 impl LinkSnapshot {
     /// Mean RTT over clean samples, if any were taken.
     pub fn rtt_mean(&self) -> Option<Duration> {
-        (self.rtt_count > 0).then(|| Duration::from_micros(self.rtt_sum_us / self.rtt_count))
+        self.rtt.mean()
     }
 
     fn add(&mut self, other: &LinkSnapshot) {
@@ -120,11 +105,7 @@ impl LinkSnapshot {
         self.dup_frames_rx += other.dup_frames_rx;
         self.frames_rejected += other.frames_rejected;
         self.faults_injected += other.faults_injected;
-        self.rtt_count += other.rtt_count;
-        self.rtt_sum_us += other.rtt_sum_us;
-        for (o, b) in self.rtt_hist.iter_mut().zip(other.rtt_hist.iter()) {
-            *o += b;
-        }
+        self.rtt.add(&other.rtt);
     }
 }
 
@@ -151,17 +132,10 @@ impl NetSnapshot {
     /// Compact human-readable RTT histogram of the aggregate, listing
     /// only occupied buckets.
     pub fn rtt_histogram_pretty(&self) -> String {
-        let mut out = String::new();
-        for (i, &c) in self.total.rtt_hist.iter().enumerate() {
-            if c > 0 {
-                let lo = 1u64 << i;
-                out.push_str(&format!("    [{:>7}µs, {:>7}µs): {}\n", lo, lo << 1, c));
-            }
+        if self.total.rtt.count == 0 {
+            return "    (no clean samples)\n".into();
         }
-        if out.is_empty() {
-            out.push_str("    (no clean samples)\n");
-        }
-        out
+        self.total.rtt.pretty()
     }
 }
 
@@ -176,9 +150,9 @@ mod tests {
         m.record_rtt(Duration::from_micros(5)); // bucket 2: [4, 8)
         m.record_rtt(Duration::from_micros(1000)); // bucket 9: [512, 1024)
         let s = m.snapshot();
-        assert_eq!(s.rtt_hist[2], 1);
-        assert_eq!(s.rtt_hist[9], 1);
-        assert_eq!(s.rtt_count, 2);
+        assert_eq!(s.rtt.buckets[2], 1);
+        assert_eq!(s.rtt.buckets[9], 1);
+        assert_eq!(s.rtt.count, 2);
         assert_eq!(s.rtt_mean(), Some(Duration::from_micros(502)));
     }
 
@@ -189,9 +163,13 @@ mod tests {
         a.frames_sent.fetch_add(3, Ordering::Relaxed);
         b.frames_sent.fetch_add(4, Ordering::Relaxed);
         b.reconnects.fetch_add(1, Ordering::Relaxed);
+        a.record_rtt(Duration::from_micros(10));
+        b.record_rtt(Duration::from_micros(20));
         let snap = NetSnapshot::collect(&[a, b]);
         assert_eq!(snap.total.frames_sent, 7);
         assert_eq!(snap.total.reconnects, 1);
         assert_eq!(snap.links[0].frames_sent, 3);
+        assert_eq!(snap.total.rtt.count, 2);
+        assert!(snap.rtt_histogram_pretty().contains("µs"));
     }
 }

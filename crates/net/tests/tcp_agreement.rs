@@ -110,6 +110,6 @@ fn baseline_runs_and_metrics_are_sane() {
     assert_eq!(rep.net.total.frames_sent, rep.messages);
     assert!(rep.net.total.acks_sent >= rep.net.total.frames_sent - rep.net.total.frames_rejected);
     assert!(rep.net.total.bytes_on_wire > 0);
-    assert!(rep.net.total.rtt_count > 0, "clean wire should collect RTT samples");
+    assert!(rep.net.total.rtt.count > 0, "clean wire should collect RTT samples");
     assert_eq!(rep.net.links.len(), ring.n());
 }

@@ -1,0 +1,153 @@
+//! A lock-free log₂-microsecond latency histogram, shared by every
+//! runtime that measures durations.
+//!
+//! Extracted from the TCP transport's RTT bookkeeping (`hre-net`) so the
+//! election service (`hre-svc`) can reuse the same bucket layout for
+//! request latency instead of carrying a second copy: bucket `i` covers
+//! `[2^i, 2^(i+1))` µs, with the last bucket absorbing everything larger.
+//! All fields are atomics, so concurrent recorders never contend on a
+//! lock; snapshots are taken with relaxed loads (the counters are
+//! monotonic and independently meaningful).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets. `2^24` µs ≈ 16.8 s — anything slower lands in
+/// the final bucket.
+pub const LOG2_BUCKETS: usize = 24;
+
+/// Live histogram: concurrent recorders, relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Log2Histogram {
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    buckets: [AtomicU64; LOG2_BUCKETS],
+}
+
+/// Index of the bucket covering `us` microseconds.
+pub fn bucket_of(us: u64) -> usize {
+    (64 - us.max(1).leading_zeros() as usize - 1).min(LOG2_BUCKETS - 1)
+}
+
+impl Log2Histogram {
+    /// Records one duration sample.
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one sample given directly in microseconds.
+    pub fn record_us(&self, us: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Freezes the current counters.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; LOG2_BUCKETS];
+        for (o, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Frozen histogram counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, in microseconds.
+    pub sum_us: u64,
+    /// Per-bucket sample counts (bucket `i` covers `[2^i, 2^(i+1))` µs).
+    pub buckets: [u64; LOG2_BUCKETS],
+}
+
+impl HistSnapshot {
+    /// Mean sample, if any were recorded.
+    pub fn mean(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_micros(self.sum_us / self.count))
+    }
+
+    /// Accumulates another snapshot into this one.
+    pub fn add(&mut self, other: &HistSnapshot) {
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        for (o, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *o += b;
+        }
+    }
+
+    /// Compact human-readable rendering listing only occupied buckets,
+    /// one `    [lo, hi): count` line each; a placeholder line when empty.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                let lo = 1u64 << i;
+                out.push_str(&format!("    [{:>7}µs, {:>7}µs): {}\n", lo, lo << 1, c));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("    (no samples)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_log2_buckets() {
+        let h = Log2Histogram::default();
+        h.record(Duration::from_micros(5)); // bucket 2: [4, 8)
+        h.record(Duration::from_micros(1000)); // bucket 9: [512, 1024)
+        h.record_us(0); // clamps to bucket 0
+        let s = h.snapshot();
+        assert_eq!(s.buckets[2], 1);
+        assert_eq!(s.buckets[9], 1);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean(), Some(Duration::from_micros(335)));
+    }
+
+    #[test]
+    fn huge_samples_clamp_to_last_bucket() {
+        let h = Log2Histogram::default();
+        h.record(Duration::from_secs(3600));
+        assert_eq!(h.snapshot().buckets[LOG2_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn add_merges_and_pretty_lists_occupied() {
+        let a = Log2Histogram::default();
+        a.record_us(6);
+        let b = Log2Histogram::default();
+        b.record_us(7);
+        b.record_us(100);
+        let mut s = a.snapshot();
+        s.add(&b.snapshot());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets[2], 2);
+        let p = s.pretty();
+        assert!(p.contains("[      4µs,       8µs): 2"), "{p}");
+        assert!(p.contains("[     64µs,     128µs): 1"), "{p}");
+        assert!(HistSnapshot::default().pretty().contains("no samples"));
+    }
+
+    #[test]
+    fn bucket_of_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(u64::MAX), LOG2_BUCKETS - 1);
+    }
+}

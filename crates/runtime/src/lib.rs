@@ -19,8 +19,10 @@
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod hist;
 
 pub use driver::{drive_node, NodeTransport, RecvFault, SendFault, ThreadOutcome};
+pub use hist::{bucket_of, HistSnapshot, Log2Histogram, LOG2_BUCKETS};
 
 use crossbeam::channel::{
     bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender,

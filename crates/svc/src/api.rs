@@ -1,0 +1,339 @@
+//! The `/elect` API surface: request parsing, election execution, and
+//! response building.
+//!
+//! Everything that decides response **bytes** lives here, and only here,
+//! so the daemon's `POST /elect` and the CLI's `hre elect --json` emit
+//! byte-identical documents for the same ring and algorithm. The daemon
+//! additionally runs elections in *canonical coordinates* (the least
+//! rotation of the label sequence) so rotationally-equivalent requests
+//! share cache entries; [`ElectOutcome::into_coords`] maps a canonical
+//! outcome back into the coordinates of the request.
+
+use crate::json::{self, Json};
+use hre_ring::RingLabeling;
+use hre_sim::{run, RoundRobinSched, RunOptions, RunReport};
+use hre_words::Label;
+
+/// Largest ring the service accepts. A 4096-process Ak election is
+/// already tens of millions of atomic actions; beyond this the request
+/// would blow the per-request deadline anyway.
+pub const MAX_RING: usize = 4096;
+
+/// The algorithms the service can run, mirroring `hre elect --algo`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgoId {
+    /// Paper's Table 1 algorithm (asymmetric rings, known bound `k`).
+    Ak,
+    /// Naive reference implementation of Ak's leader predicate.
+    AkRef,
+    /// Paper's Table 2 phase-based algorithm.
+    Bk,
+    /// Chang–Roberts (requires distinct labels to be correct).
+    Cr,
+    /// Peterson's unidirectional algorithm.
+    Peterson,
+    /// Oracle baseline that knows `n` exactly.
+    OracleN,
+}
+
+impl AlgoId {
+    /// Parses the wire name (same names as the CLI `--algo` flag).
+    pub fn parse(s: &str) -> Option<AlgoId> {
+        match s {
+            "ak" => Some(AlgoId::Ak),
+            "ak-ref" => Some(AlgoId::AkRef),
+            "bk" => Some(AlgoId::Bk),
+            "cr" => Some(AlgoId::Cr),
+            "peterson" => Some(AlgoId::Peterson),
+            "oracle-n" => Some(AlgoId::OracleN),
+            _ => None,
+        }
+    }
+
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgoId::Ak => "ak",
+            AlgoId::AkRef => "ak-ref",
+            AlgoId::Bk => "bk",
+            AlgoId::Cr => "cr",
+            AlgoId::Peterson => "peterson",
+            AlgoId::OracleN => "oracle-n",
+        }
+    }
+
+    /// The multiplicity bound actually used by this algorithm for a
+    /// requested `k` — the same clamping the CLI applies (`ak` needs
+    /// `k >= 1`, `bk` needs `k >= 2`, the rest ignore `k`).
+    pub fn effective_k(self, k: usize) -> usize {
+        match self {
+            AlgoId::Ak | AlgoId::AkRef => k.max(1),
+            AlgoId::Bk => k.max(2),
+            AlgoId::Cr | AlgoId::Peterson | AlgoId::OracleN => k,
+        }
+    }
+}
+
+/// A validated election request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElectRequest {
+    /// Raw labels, clockwise, as sent by the client.
+    pub labels: Vec<u64>,
+    /// Algorithm to run.
+    pub algo: AlgoId,
+    /// Multiplicity bound `k` (defaulted to the ring's actual maximum
+    /// multiplicity when the client omits it, exactly like the CLI).
+    pub k: usize,
+}
+
+impl ElectRequest {
+    /// Builds and validates a request; `k = None` uses the ring's actual
+    /// maximum label multiplicity.
+    pub fn new(labels: Vec<u64>, algo: AlgoId, k: Option<usize>) -> Result<ElectRequest, String> {
+        if labels.len() < 2 {
+            return Err("ring needs at least two labels".into());
+        }
+        if labels.len() > MAX_RING {
+            return Err(format!("ring too large ({} labels, max {MAX_RING})", labels.len()));
+        }
+        let k = match k {
+            Some(0) => return Err("k must be >= 1".into()),
+            Some(k) => k,
+            None => RingLabeling::from_raw(&labels).max_multiplicity(),
+        };
+        Ok(ElectRequest { labels, algo, k: algo.effective_k(k) })
+    }
+
+    /// Parses a `POST /elect` JSON body:
+    /// `{"ring": [1,2,2], "algo": "ak", "k": 2}` (`algo` defaults to
+    /// `"ak"`, `k` to the ring's maximum multiplicity).
+    pub fn from_json(body: &[u8]) -> Result<ElectRequest, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+        let doc = Json::parse(text).map_err(|e| format!("bad JSON: {e}"))?;
+        let ring = doc.get("ring").ok_or("missing \"ring\"")?;
+        let arr = ring.as_arr().ok_or("\"ring\" must be an array of labels")?;
+        let mut labels = Vec::with_capacity(arr.len());
+        for v in arr {
+            labels.push(v.as_u64().ok_or("labels must be non-negative integers")?);
+        }
+        let algo = match doc.get("algo") {
+            Some(a) => {
+                let name = a.as_str().ok_or("\"algo\" must be a string")?;
+                AlgoId::parse(name).ok_or_else(|| {
+                    format!("unknown algo {name:?} (ak | ak-ref | bk | cr | peterson | oracle-n)")
+                })?
+            }
+            None => AlgoId::Ak,
+        };
+        let k = match doc.get("k") {
+            Some(v) => Some(v.as_usize().ok_or("\"k\" must be a positive integer")?),
+            None => None,
+        };
+        ElectRequest::new(labels, algo, k)
+    }
+
+    /// The request as a JSON body (what clients send).
+    pub fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("ring", json::nums(self.labels.iter().copied())),
+            ("algo", Json::Str(self.algo.name().into())),
+            ("k", Json::Num(self.k as i128)),
+        ])
+    }
+
+    /// The labeled ring described by the request.
+    pub fn ring(&self) -> RingLabeling {
+        RingLabeling::from_raw(&self.labels)
+    }
+
+    /// The same request in canonical (least-rotation) coordinates, plus
+    /// the rotation distance `d` such that
+    /// `canonical = rotate_left(labels, d)`.
+    pub fn canonicalized(&self) -> (ElectRequest, usize) {
+        let d = hre_words::canonical_rotation_index(&self.labels);
+        let mut labels = self.labels.clone();
+        labels.rotate_left(d);
+        (ElectRequest { labels, algo: self.algo, k: self.k }, d)
+    }
+}
+
+/// The result of a successful election, in the coordinates of whichever
+/// ring was actually run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElectOutcome {
+    /// Index of the elected leader.
+    pub leader: usize,
+    /// The leader's label (rotation-invariant).
+    pub leader_label: u64,
+    /// The leader's full counter-clockwise label word `llabels_n(leader)`
+    /// (rotation-invariant: rotating the ring re-indexes processes but
+    /// the word starting at the leader is unchanged).
+    pub label_word: Vec<u64>,
+    /// Messages sent.
+    pub messages: u64,
+    /// Atomic actions fired.
+    pub actions: u64,
+    /// Virtual time units (longest causal message chain).
+    pub time_units: u64,
+    /// Total bits on the wire.
+    pub wire_bits: u64,
+}
+
+impl ElectOutcome {
+    /// Re-expresses an outcome computed on the canonical rotation in the
+    /// coordinates of a request rotated `d` places to the right of it
+    /// (i.e. `canonical = rotate_left(request, d)`). Only the leader
+    /// *index* moves; every other field is rotation-invariant.
+    pub fn into_coords(mut self, d: usize, n: usize) -> ElectOutcome {
+        self.leader = (self.leader + d) % n;
+        self
+    }
+}
+
+/// Runs the requested election in-process (round-robin scheduler, the
+/// default everywhere else in the workspace) and reports the outcome in
+/// the request's own coordinates. Errors are returned as strings —
+/// they are legitimate, cacheable results (e.g. Chang–Roberts violating
+/// the spec on a homonym ring does so on every rotation).
+pub fn run_election(req: &ElectRequest) -> Result<ElectOutcome, String> {
+    use hre_baselines::{ChangRoberts, OracleN, Peterson};
+    use hre_core::{Ak, AkReference, Bk};
+
+    let ring = req.ring();
+    let mut sched = RoundRobinSched::default();
+    let opts = RunOptions::default();
+    let (clean, leader, metrics) = match req.algo {
+        AlgoId::Ak => digest(run(&Ak::new(req.k), &ring, &mut sched, opts)),
+        AlgoId::AkRef => digest(run(&AkReference::new(req.k), &ring, &mut sched, opts)),
+        AlgoId::Bk => digest(run(&Bk::new(req.k), &ring, &mut sched, opts)),
+        AlgoId::Cr => digest(run(&ChangRoberts, &ring, &mut sched, opts)),
+        AlgoId::Peterson => digest(run(&Peterson, &ring, &mut sched, opts)),
+        AlgoId::OracleN => digest(run(&OracleN::new(ring.n()), &ring, &mut sched, opts)),
+    };
+    let leader = match (clean, leader) {
+        (true, Some(l)) => l,
+        _ => {
+            return Err(format!(
+                "election did not satisfy the specification (algo {}, n {})",
+                req.algo.name(),
+                ring.n()
+            ))
+        }
+    };
+    Ok(ElectOutcome {
+        leader,
+        leader_label: ring.label(leader).raw(),
+        label_word: ring.llabels_n(leader).iter().map(|l: &Label| l.raw()).collect(),
+        messages: metrics.messages,
+        actions: metrics.actions,
+        time_units: metrics.time_units,
+        wire_bits: metrics.wire_bits,
+    })
+}
+
+fn digest<M>(rep: RunReport<M>) -> (bool, Option<usize>, hre_sim::RunMetrics) {
+    (rep.clean(), rep.leader, rep.metrics)
+}
+
+/// Builds the canonical success-response document. Field order is part
+/// of the contract: `hre elect --json` and `POST /elect` both emit this
+/// and must stay byte-identical.
+pub fn response_json(req: &ElectRequest, out: &ElectOutcome) -> String {
+    json::obj(vec![
+        ("algo", Json::Str(req.algo.name().into())),
+        ("ring", json::nums(req.labels.iter().copied())),
+        ("n", Json::Num(req.labels.len() as i128)),
+        ("k", Json::Num(req.k as i128)),
+        ("leader", Json::Num(out.leader as i128)),
+        ("leader_label", Json::Num(out.leader_label as i128)),
+        ("label_word", json::nums(out.label_word.iter().copied())),
+        ("messages", Json::Num(out.messages as i128)),
+        ("actions", Json::Num(out.actions as i128)),
+        ("time_units", Json::Num(out.time_units as i128)),
+        ("wire_bits", Json::Num(out.wire_bits as i128)),
+    ])
+    .to_string()
+}
+
+/// Builds the error-response document (also byte-stable).
+pub fn error_json(message: &str) -> String {
+    json::obj(vec![("error", Json::Str(message.into()))]).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_defaults() {
+        let req = ElectRequest::from_json(br#"{"ring":[1,3,1,3,2,2,1,2]}"#).expect("parse");
+        assert_eq!(req.algo, AlgoId::Ak);
+        assert_eq!(req.k, 3); // actual max multiplicity of the figure-1 ring
+        let req = ElectRequest::from_json(br#"{"ring":[1,2,2],"algo":"bk","k":1}"#).expect("parse");
+        assert_eq!(req.algo, AlgoId::Bk);
+        assert_eq!(req.k, 2); // bk clamps to >= 2
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        for body in [
+            &br#"{"algo":"ak"}"#[..],              // no ring
+            br#"{"ring":[1]}"#,                    // too small
+            br#"{"ring":[1,2],"algo":"quantum"}"#, // unknown algo
+            br#"{"ring":[1,-2]}"#,                 // negative label
+            br#"{"ring":[1,2],"k":0}"#,            // zero k
+            br#"{"ring":"1,2"}"#,                  // ring not an array
+            b"not json",
+        ] {
+            assert!(ElectRequest::from_json(body).is_err(), "{:?}", String::from_utf8_lossy(body));
+        }
+        let huge: Vec<u64> = (0..=MAX_RING as u64).collect();
+        assert!(ElectRequest::new(huge, AlgoId::Ak, None).is_err());
+    }
+
+    #[test]
+    fn election_runs_and_reports() {
+        let req = ElectRequest::new(vec![1, 2, 2], AlgoId::Ak, Some(2)).expect("req");
+        let out = run_election(&req).expect("clean election");
+        assert_eq!(out.leader, 0);
+        assert_eq!(out.leader_label, 1);
+        assert_eq!(out.label_word.len(), 3);
+        assert!(out.messages > 0);
+        let body = response_json(&req, &out);
+        assert!(
+            body.starts_with(r#"{"algo":"ak","ring":[1,2,2],"n":3,"k":2,"leader":0"#),
+            "{body}"
+        );
+        // The response parses back and the label word starts at the leader.
+        let doc = Json::parse(&body).expect("valid json");
+        assert_eq!(doc.get("leader_label").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn spec_violations_become_errors() {
+        // Chang–Roberts elects two leaders on a homonym ring.
+        let req = ElectRequest::new(vec![5, 1, 5, 2], AlgoId::Cr, None).expect("req");
+        let err = run_election(&req).expect_err("cr must fail on homonyms");
+        assert!(err.contains("did not satisfy"), "{err}");
+        assert!(error_json(&err).starts_with(r#"{"error":"#));
+    }
+
+    #[test]
+    fn canonical_outcome_maps_back_to_request_coordinates() {
+        let base: Vec<u64> = vec![1, 3, 1, 3, 2, 2, 1, 2];
+        let n = base.len();
+        for d in 0..n {
+            let mut labels = base.clone();
+            labels.rotate_left(d);
+            let req = ElectRequest::new(labels, AlgoId::Ak, None).expect("req");
+            let (canon_req, rot) = req.canonicalized();
+            assert_eq!(canon_req.labels, hre_words::canonical_rotation(&req.labels));
+            let canon_out = run_election(&canon_req).expect("clean");
+            let mapped = canon_out.into_coords(rot, n);
+            let direct = run_election(&req).expect("clean");
+            assert_eq!(mapped, direct, "rotation d={d}");
+            // And the response bodies are byte-identical.
+            assert_eq!(response_json(&req, &mapped), response_json(&req, &direct));
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Closed-loop load generator for the daemon — behind `hre bench-svc`
+//! and the E19 experiment.
+//!
+//! A fixed set of keep-alive connections races through a shared request
+//! counter; each request optionally *rotates* the base ring by the
+//! request index, which keeps every request distinct on the wire while
+//! mapping the whole workload onto a single canonical cache entry (the
+//! 100%-rotation workload the cache is designed for). `503` responses
+//! are retried after a short backoff, honoring `Retry-After`; they
+//! count as backpressure events, not failures.
+
+use crate::api::ElectRequest;
+use crate::http::Client;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generation parameters.
+#[derive(Clone, Debug)]
+pub struct LoadOptions {
+    /// Concurrent keep-alive connections.
+    pub connections: usize,
+    /// Total requests to issue across all connections.
+    pub requests: u64,
+    /// Base election request.
+    pub base: ElectRequest,
+    /// Rotate the ring by the request index (same canonical ring every
+    /// time) instead of repeating it verbatim.
+    pub rotate: bool,
+}
+
+/// What the load run observed.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Requests that completed with 200.
+    pub ok: u64,
+    /// Requests that completed with 422 (spec violation — still a
+    /// definitive answer).
+    pub failed: u64,
+    /// `X-Cache: HIT` responses among the completed requests.
+    pub cache_hits: u64,
+    /// 503 backpressure responses absorbed by retrying.
+    pub retried_busy: u64,
+    /// Requests abandoned on transport errors or 5xx other than 503.
+    pub errors: u64,
+    /// Wall-clock time of the whole run.
+    pub wall: Duration,
+    /// Per-request latencies in microseconds, sorted ascending.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    /// The `p`-th percentile latency (0 < p <= 100), if any samples.
+    pub fn percentile_us(&self, p: f64) -> Option<u64> {
+        if self.latencies_us.is_empty() {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.latencies_us.len() as f64).ceil() as usize;
+        Some(self.latencies_us[rank.clamp(1, self.latencies_us.len()) - 1])
+    }
+
+    /// Completed requests per second.
+    pub fn throughput(&self) -> f64 {
+        let done = (self.ok + self.failed) as f64;
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            done / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> Option<u64> {
+        let n = self.latencies_us.len() as u64;
+        (n > 0).then(|| self.latencies_us.iter().sum::<u64>() / n)
+    }
+
+    /// The human-readable summary `hre bench-svc` prints.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} ok + {} spec-failed in {:.3} s — {:.0} req/s\n",
+            self.ok,
+            self.failed,
+            self.wall.as_secs_f64(),
+            self.throughput()
+        ));
+        out.push_str(&format!(
+            "cache hits {} | 503 retries {} | errors {}\n",
+            self.cache_hits, self.retried_busy, self.errors
+        ));
+        if let (Some(mean), Some(p50), Some(p95), Some(p99)) = (
+            self.mean_us(),
+            self.percentile_us(50.0),
+            self.percentile_us(95.0),
+            self.percentile_us(99.0),
+        ) {
+            out.push_str(&format!("latency µs: mean {mean} | p50 {p50} | p95 {p95} | p99 {p99}\n"));
+        }
+        out
+    }
+}
+
+/// Drives `opts.requests` requests at `addr` and gathers the report.
+pub fn run_load(addr: &str, opts: &LoadOptions) -> std::io::Result<LoadReport> {
+    let next = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for _ in 0..opts.connections.max(1) {
+        let addr = addr.to_string();
+        let opts = opts.clone();
+        let next = Arc::clone(&next);
+        threads.push(std::thread::spawn(move || worker(&addr, &opts, &next)));
+    }
+    let mut report = LoadReport::default();
+    for t in threads {
+        let part = t.join().map_err(|_| std::io::Error::other("load thread panicked"))??;
+        report.ok += part.ok;
+        report.failed += part.failed;
+        report.cache_hits += part.cache_hits;
+        report.retried_busy += part.retried_busy;
+        report.errors += part.errors;
+        report.latencies_us.extend(part.latencies_us);
+    }
+    report.wall = started.elapsed();
+    report.latencies_us.sort_unstable();
+    Ok(report)
+}
+
+/// One connection's share of the load.
+fn worker(addr: &str, opts: &LoadOptions, next: &AtomicU64) -> std::io::Result<LoadReport> {
+    let mut client = Client::connect(addr, Duration::from_secs(10))?;
+    let mut part = LoadReport::default();
+    let n = opts.base.labels.len();
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= opts.requests {
+            return Ok(part);
+        }
+        let body = if opts.rotate {
+            let mut labels = opts.base.labels.clone();
+            labels.rotate_left((i as usize) % n);
+            ElectRequest { labels, ..opts.base.clone() }.to_json().to_string()
+        } else {
+            opts.base.to_json().to_string()
+        };
+        // Retry 503s (bounded); reconnect once on transport errors.
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let t0 = Instant::now();
+            let resp = match client.post_json("/elect", &body) {
+                Ok(r) => r,
+                Err(_) if attempts <= 2 => {
+                    client = Client::connect(addr, Duration::from_secs(10))?;
+                    continue;
+                }
+                Err(_) => {
+                    part.errors += 1;
+                    break;
+                }
+            };
+            match resp.status {
+                200 | 422 => {
+                    part.latencies_us.push(t0.elapsed().as_micros().min(u64::MAX as u128) as u64);
+                    if resp.status == 200 {
+                        part.ok += 1;
+                    } else {
+                        part.failed += 1;
+                    }
+                    if resp.header("x-cache") == Some("HIT") {
+                        part.cache_hits += 1;
+                    }
+                    break;
+                }
+                503 if attempts <= 50 => {
+                    part.retried_busy += 1;
+                    let wait_ms: u64 = resp
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(|s| s * 1000)
+                        .unwrap_or(10)
+                        .min(20);
+                    std::thread::sleep(Duration::from_millis(wait_ms.max(1)));
+                }
+                _ => {
+                    part.errors += 1;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::AlgoId;
+    use crate::server::{start, SvcConfig};
+
+    #[test]
+    fn load_run_completes_and_reports_percentiles() {
+        let handle = start(SvcConfig { workers: 2, ..Default::default() }).expect("start");
+        let base = ElectRequest::new(vec![1, 3, 1, 3, 2, 2, 1, 2], AlgoId::Ak, None).expect("req");
+        let opts = LoadOptions { connections: 3, requests: 40, base, rotate: true };
+        let report = run_load(&handle.addr.to_string(), &opts).expect("load");
+        assert_eq!(report.ok, 40, "{report:?}");
+        assert_eq!(report.errors, 0, "{report:?}");
+        // Rotation workload: everything after the first computation hits.
+        assert!(report.cache_hits >= 30, "{report:?}");
+        assert_eq!(report.latencies_us.len(), 40);
+        let p50 = report.percentile_us(50.0).expect("p50");
+        let p99 = report.percentile_us(99.0).expect("p99");
+        assert!(p50 <= p99);
+        assert!(report.throughput() > 0.0);
+        let pretty = report.pretty();
+        assert!(pretty.contains("req/s"), "{pretty}");
+        assert!(pretty.contains("p99"), "{pretty}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let mut r = LoadReport::default();
+        assert_eq!(r.percentile_us(50.0), None);
+        r.latencies_us = vec![10, 20, 30, 40];
+        assert_eq!(r.percentile_us(50.0), Some(20));
+        assert_eq!(r.percentile_us(100.0), Some(40));
+        assert_eq!(r.percentile_us(1.0), Some(10));
+    }
+}

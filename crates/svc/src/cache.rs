@@ -1,0 +1,292 @@
+//! Sharded LRU result cache keyed by the **canonical rotation** of the
+//! label sequence.
+//!
+//! Two requests whose rings are rotations of each other describe the
+//! same labeled ring up to re-indexing, and (under the deterministic
+//! round-robin scheduler the service runs) their elections agree on the
+//! leader's label word and on every complexity metric — only the leader
+//! *index* differs, by exactly the rotation distance. Keying the cache
+//! on the least rotation (Booth, via `hre-words`) therefore dedupes the
+//! whole rotation class into one entry; the server maps the cached
+//! canonical outcome back into request coordinates per hit.
+//!
+//! Error outcomes are cached too: a spec violation (e.g. Chang–Roberts
+//! on a homonym ring) happens on every rotation or none.
+
+use crate::api::{AlgoId, ElectOutcome};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cache key: canonical labels + algorithm + effective multiplicity
+/// bound. Build it with [`CacheKey::new`], which canonicalizes.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Least rotation of the request's label sequence.
+    pub canon: Vec<u64>,
+    /// Algorithm.
+    pub algo: AlgoId,
+    /// Effective `k` (after per-algorithm clamping).
+    pub k: usize,
+}
+
+impl CacheKey {
+    /// Canonicalizes `labels` and builds the key.
+    pub fn new(labels: &[u64], algo: AlgoId, k: usize) -> CacheKey {
+        CacheKey { canon: hre_words::canonical_rotation(labels), algo, k }
+    }
+}
+
+/// A cached election result, in canonical coordinates.
+pub type CachedResult = Result<ElectOutcome, String>;
+
+/// Monotone cache counters (atomics; cheap to read under load).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: AtomicU64,
+    /// Lookups that found nothing.
+    pub misses: AtomicU64,
+    /// Entries inserted.
+    pub inserts: AtomicU64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: AtomicU64,
+}
+
+/// A point-in-time copy of [`CacheStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Entries evicted.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+}
+
+struct Shard {
+    /// Key → (value, last-touch tick).
+    map: HashMap<CacheKey, (CachedResult, u64)>,
+    /// Tick → key, the recency order (ticks are unique per shard).
+    order: BTreeMap<u64, CacheKey>,
+    /// Next tick to hand out.
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, key: &CacheKey) {
+        if let Some((_, old_tick)) = self.map.get(key) {
+            let old_tick = *old_tick;
+            self.order.remove(&old_tick);
+            self.tick += 1;
+            let t = self.tick;
+            self.order.insert(t, key.clone());
+            self.map.get_mut(key).expect("entry just read").1 = t;
+        }
+    }
+}
+
+/// A sharded, capacity-bounded LRU map from [`CacheKey`] to
+/// [`CachedResult`]. Capacity 0 disables caching entirely (every
+/// lookup is a miss and inserts are dropped) — used by benchmarks to
+/// measure the uncached baseline.
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard capacity (total capacity divided up front).
+    per_shard_cap: usize,
+    stats: CacheStats,
+}
+
+impl ShardedLru {
+    /// Creates a cache holding at most `capacity` entries spread over
+    /// `shards` independently locked shards.
+    pub fn new(capacity: usize, shards: usize) -> ShardedLru {
+        let shards = shards.clamp(1, 64);
+        let per_shard_cap = if capacity == 0 { 0 } else { capacity.div_ceil(shards) };
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(Shard { map: HashMap::new(), order: BTreeMap::new(), tick: 0 }))
+                .collect(),
+            per_shard_cap,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// `true` when the cache was built with capacity 0.
+    pub fn disabled(&self) -> bool {
+        self.per_shard_cap == 0
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedResult> {
+        if self.disabled() {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        let found = shard.map.get(key).map(|(v, _)| v.clone());
+        match found {
+            Some(v) => {
+                shard.touch(key);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Like [`ShardedLru::get`] but without touching the hit/miss
+    /// counters — for the worker-side dedupe re-check, so the stats
+    /// count exactly one hit-or-miss per client request.
+    pub fn peek(&self, key: &CacheKey) -> Option<CachedResult> {
+        if self.disabled() {
+            return None;
+        }
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        let found = shard.map.get(key).map(|(v, _)| v.clone());
+        if found.is_some() {
+            shard.touch(key);
+        }
+        found
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently
+    /// used entry of the target shard if it is full.
+    pub fn insert(&self, key: CacheKey, value: CachedResult) {
+        if self.disabled() {
+            return;
+        }
+        let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        if shard.map.contains_key(&key) {
+            shard.touch(&key);
+            shard.map.get_mut(&key).expect("entry just touched").0 = value;
+            return;
+        }
+        while shard.map.len() >= self.per_shard_cap {
+            let Some((&oldest, _)) = shard.order.iter().next() else { break };
+            let victim = shard.order.remove(&oldest).expect("tick just seen");
+            shard.map.remove(&victim);
+            self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.tick += 1;
+        let t = shard.tick;
+        shard.order.insert(t, key.clone());
+        shard.map.insert(key, (value, t));
+        self.stats.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Entries currently resident, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// `true` when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point-in-time counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            inserts: self.stats.inserts.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(leader: usize) -> CachedResult {
+        Ok(ElectOutcome {
+            leader,
+            leader_label: 1,
+            label_word: vec![1, 2, 2],
+            messages: 9,
+            actions: 12,
+            time_units: 5,
+            wire_bits: 40,
+        })
+    }
+
+    #[test]
+    fn rotations_share_one_key() {
+        let base = [1u64, 3, 1, 3, 2, 2, 1, 2];
+        let k0 = CacheKey::new(&base, AlgoId::Ak, 3);
+        for d in 1..base.len() {
+            let mut rot = base.to_vec();
+            rot.rotate_left(d);
+            assert_eq!(CacheKey::new(&rot, AlgoId::Ak, 3), k0, "d={d}");
+        }
+        // …but algo and k are part of the key.
+        assert_ne!(CacheKey::new(&base, AlgoId::Bk, 3), k0);
+        assert_ne!(CacheKey::new(&base, AlgoId::Ak, 4), k0);
+    }
+
+    #[test]
+    fn hit_miss_insert_counters() {
+        let cache = ShardedLru::new(8, 2);
+        let key = CacheKey::new(&[1, 2, 2], AlgoId::Ak, 2);
+        assert!(cache.get(&key).is_none());
+        cache.insert(key.clone(), outcome(0));
+        assert_eq!(cache.get(&key).expect("hit").expect("ok").leader, 0);
+        let s = cache.snapshot();
+        assert_eq!((s.hits, s.misses, s.inserts, s.evictions, s.len), (1, 1, 1, 0, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_first() {
+        // Single shard so the recency order is global.
+        let cache = ShardedLru::new(2, 1);
+        let keys: Vec<CacheKey> =
+            (0..3).map(|i| CacheKey::new(&[i, i + 1, i + 2], AlgoId::Ak, 1)).collect();
+        cache.insert(keys[0].clone(), outcome(0));
+        cache.insert(keys[1].clone(), outcome(1));
+        // Touch keys[0] so keys[1] becomes the LRU victim.
+        assert!(cache.get(&keys[0]).is_some());
+        cache.insert(keys[2].clone(), outcome(2));
+        assert!(cache.get(&keys[0]).is_some(), "recently touched survives");
+        assert!(cache.get(&keys[1]).is_none(), "LRU entry evicted");
+        assert!(cache.get(&keys[2]).is_some());
+        assert_eq!(cache.snapshot().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = ShardedLru::new(0, 4);
+        assert!(cache.disabled());
+        let key = CacheKey::new(&[1, 2, 2], AlgoId::Ak, 2);
+        cache.insert(key.clone(), outcome(0));
+        assert!(cache.get(&key).is_none());
+        assert!(cache.is_empty());
+        let s = cache.snapshot();
+        assert_eq!((s.inserts, s.misses), (0, 1));
+    }
+
+    #[test]
+    fn errors_are_cached_values_too() {
+        let cache = ShardedLru::new(4, 1);
+        let key = CacheKey::new(&[5, 1, 5, 2], AlgoId::Cr, 2);
+        cache.insert(key.clone(), Err("spec violated".into()));
+        assert!(cache.get(&key).expect("hit").is_err());
+    }
+}

@@ -1,0 +1,503 @@
+//! Minimal HTTP/1.1, hand-rolled over `std::net::TcpStream` — the same
+//! std-only discipline as `hre-net`'s framing layer. Implements exactly
+//! the slice the election service needs: request parsing with
+//! `Content-Length` bodies, keep-alive, compact responses, and a tiny
+//! client for the load generator and the tests.
+//!
+//! Deliberately out of scope: chunked transfer encoding, pipelining,
+//! TLS, and multi-line headers. Requests using unsupported features get
+//! a clean `400`/`411` instead of undefined behavior.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Upper bound on head (request line + headers) size.
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on body size — a 4096-label ring spec is ~50 KiB.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Method verb, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target (path only; the service ignores query strings).
+    pub path: String,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// `true` if the client asked for the connection to close.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request stopped.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// Peer closed the connection between requests — normal keep-alive
+    /// teardown.
+    Closed,
+    /// No bytes arrived within the poll window and no request is in
+    /// flight; the caller decides whether to keep waiting.
+    IdlePoll,
+    /// The peer sent something unparseable; the caller should answer
+    /// 400 and close.
+    Malformed(String),
+}
+
+/// A buffered connection that can read successive keep-alive requests.
+pub struct HttpConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpConn {
+    /// Wraps a stream, arming the short read timeout the poll loop
+    /// relies on.
+    pub fn new(stream: TcpStream, poll: Duration) -> std::io::Result<HttpConn> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(poll.max(Duration::from_millis(1))))?;
+        Ok(HttpConn { stream, buf: Vec::new() })
+    }
+
+    /// The underlying stream (for writing responses).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Reads the next request. Returns [`ReadOutcome::IdlePoll`] when
+    /// the read timeout fires with no request bytes buffered, so the
+    /// server loop can check its shutdown flag between requests; a
+    /// *partial* request keeps polling until `head_deadline`.
+    pub fn read_request(&mut self, head_deadline: Instant) -> ReadOutcome {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(head_end) = find_head_end(&self.buf) {
+                return self.finish_request(head_end, head_deadline);
+            }
+            if self.buf.len() > MAX_HEAD {
+                return ReadOutcome::Malformed("request head too large".into());
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        ReadOutcome::Closed
+                    } else {
+                        ReadOutcome::Malformed("connection closed mid-request".into())
+                    };
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if self.buf.is_empty() {
+                        return ReadOutcome::IdlePoll;
+                    }
+                    if Instant::now() >= head_deadline {
+                        return ReadOutcome::Malformed("timed out mid-request".into());
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+    }
+
+    /// Parses the buffered head and reads the declared body.
+    fn finish_request(&mut self, head_end: usize, deadline: Instant) -> ReadOutcome {
+        let head = match std::str::from_utf8(&self.buf[..head_end]) {
+            Ok(h) => h.to_string(),
+            Err(_) => return ReadOutcome::Malformed("non-utf8 request head".into()),
+        };
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split(' ');
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return ReadOutcome::Malformed(format!("bad request line {request_line:?}"));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return ReadOutcome::Malformed(format!("unsupported version {version:?}"));
+        }
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((name, value)) = line.split_once(':') else {
+                return ReadOutcome::Malformed(format!("bad header line {line:?}"));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        if headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+        {
+            return ReadOutcome::Malformed("chunked transfer encoding unsupported".into());
+        }
+        let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+            Some((_, v)) => match v.parse::<usize>() {
+                Ok(len) if len <= MAX_BODY => len,
+                Ok(_) => return ReadOutcome::Malformed("body too large".into()),
+                Err(_) => return ReadOutcome::Malformed("bad content-length".into()),
+            },
+            None => 0,
+        };
+
+        // Consume the head (and separator) from the buffer, then read
+        // until the body is complete.
+        self.buf.drain(..head_end + 4);
+        let mut chunk = [0u8; 4096];
+        while self.buf.len() < content_length {
+            if Instant::now() >= deadline {
+                return ReadOutcome::Malformed("timed out reading body".into());
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Malformed("connection closed mid-body".into()),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut
+                        || e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::Malformed("read error mid-body".into()),
+            }
+        }
+        let body: Vec<u8> = self.buf.drain(..content_length).collect();
+        let (path, _query) = match target.split_once('?') {
+            Some((p, q)) => (p, Some(q)),
+            None => (target, None),
+        };
+        ReadOutcome::Request(Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            headers,
+            body,
+        })
+    }
+}
+
+/// Index of the `\r\n\r\n` head terminator, if buffered.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// An HTTP response under construction.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Type`/`Content-Length`.
+    pub headers: Vec<(String, String)>,
+    /// Content type of `body`.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Response {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+
+    /// The standard reason phrase for the codes the service emits.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Response",
+        }
+    }
+
+    /// Serializes and writes the response; `close` controls the
+    /// `Connection` header.
+    pub fn write_to(&self, stream: &mut TcpStream, close: bool) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.content_type,
+            self.body.len(),
+            if close { "close" } else { "keep-alive" },
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// A minimal client response, as read by [`Client`].
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(k, _)| *k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive HTTP client over one `TcpStream` — enough for the load
+/// generator, the integration tests, and the CI smoke check.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    host: String,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    pub fn connect(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let sockaddr = addr
+            .parse()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Client { stream, buf: Vec::new(), host: addr.to_string() })
+    }
+
+    /// Sends one request and reads the response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        let body = body.unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n",
+            self.host,
+            body.len(),
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    /// Convenience: `GET path`.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Convenience: `POST path` with a JSON body.
+    pub fn post_json(&mut self, path: &str, json: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(json.as_bytes()))
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(i) = find_head_end(&self.buf) {
+                break i;
+            }
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed before response head",
+                    ))
+                }
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad status line {status_line:?}")))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+        let content_length: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or(0);
+        self.buf.drain(..head_end + 4);
+        while self.buf.len() < content_length {
+            match self.stream.read(&mut chunk)? {
+                0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed mid-body",
+                    ))
+                }
+                n => self.buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+        let body: Vec<u8> = self.buf.drain(..content_length).collect();
+        Ok(ClientResponse { status, headers, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// One server turn: read a request, echo its body back.
+    fn echo_once(listener: &TcpListener) -> std::thread::JoinHandle<Request> {
+        let listener = listener.try_clone().expect("clone listener");
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut conn = HttpConn::new(stream, Duration::from_millis(20)).expect("conn");
+            loop {
+                match conn.read_request(Instant::now() + Duration::from_secs(2)) {
+                    ReadOutcome::Request(req) => {
+                        let resp = Response::json(200, String::from_utf8_lossy(&req.body).into())
+                            .with_header("x-test", "1".into());
+                        resp.write_to(conn.stream(), true).expect("write");
+                        return req;
+                    }
+                    ReadOutcome::IdlePoll => continue,
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = echo_once(&listener);
+        let mut client = Client::connect(&addr, Duration::from_secs(2)).expect("connect");
+        let resp = client.post_json("/elect?verbose=1", r#"{"x":1}"#).expect("request");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-test"), Some("1"));
+        assert_eq!(resp.body_text(), r#"{"x":1}"#);
+        let req = server.join().expect("server thread");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/elect"); // query string stripped
+        assert_eq!(req.header("content-length"), Some("7"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn keep_alive_carries_multiple_requests() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn({
+            let listener = listener.try_clone().expect("clone");
+            move || {
+                let (stream, _) = listener.accept().expect("accept");
+                let mut conn = HttpConn::new(stream, Duration::from_millis(20)).expect("conn");
+                let mut served = 0;
+                while served < 3 {
+                    match conn.read_request(Instant::now() + Duration::from_secs(2)) {
+                        ReadOutcome::Request(req) => {
+                            served += 1;
+                            Response::text(200, req.path.clone().into_bytes())
+                                .write_to(conn.stream(), false)
+                                .expect("write");
+                        }
+                        ReadOutcome::IdlePoll => continue,
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                served
+            }
+        });
+        let mut client = Client::connect(&addr, Duration::from_secs(2)).expect("connect");
+        for path in ["/a", "/b", "/c"] {
+            let resp = client.get(path).expect("get");
+            assert_eq!(resp.status, 200);
+            assert_eq!(resp.body_text(), path);
+        }
+        assert_eq!(server.join().expect("join"), 3);
+    }
+
+    #[test]
+    fn malformed_head_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn({
+            let listener = listener.try_clone().expect("clone");
+            move || {
+                let (stream, _) = listener.accept().expect("accept");
+                let mut conn = HttpConn::new(stream, Duration::from_millis(20)).expect("conn");
+                loop {
+                    match conn.read_request(Instant::now() + Duration::from_secs(2)) {
+                        ReadOutcome::Malformed(why) => return why,
+                        ReadOutcome::IdlePoll => continue,
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            }
+        });
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"GARBAGE\r\n\r\n").expect("write");
+        let why = server.join().expect("join");
+        assert!(why.contains("bad request line"), "{why}");
+    }
+}

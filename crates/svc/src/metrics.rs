@@ -1,0 +1,206 @@
+//! Service-level metrics and the `/metrics` Prometheus text renderer.
+//!
+//! Counters are plain atomics (the service is std-only); the latency
+//! histogram is the shared [`hre_runtime::Log2Histogram`] also used by
+//! the TCP transport's RTT tracking. Rendering follows the Prometheus
+//! text exposition format: `# HELP`/`# TYPE` preamble, cumulative `le`
+//! buckets for histograms, and gauges for instantaneous values.
+
+use crate::cache::CacheSnapshot;
+use hre_runtime::{Log2Histogram, LOG2_BUCKETS};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// All counters the daemon exposes on `/metrics`.
+#[derive(Debug, Default)]
+pub struct SvcMetrics {
+    /// `POST /elect` requests answered 200.
+    pub elect_ok: AtomicU64,
+    /// `POST /elect` requests answered 422 (election ran, spec violated).
+    pub elect_failed: AtomicU64,
+    /// Requests rejected 400 (unparseable HTTP or JSON).
+    pub bad_requests: AtomicU64,
+    /// Requests rejected 503 (job queue full — backpressure).
+    pub rejected_busy: AtomicU64,
+    /// Requests answered 504 (deadline expired while queued or running).
+    pub deadline_expired: AtomicU64,
+    /// Jobs a worker discarded without running because their deadline
+    /// had already passed when dequeued.
+    pub jobs_dropped_stale: AtomicU64,
+    /// `GET /healthz` requests.
+    pub health_checks: AtomicU64,
+    /// `GET /metrics` requests.
+    pub metrics_scrapes: AtomicU64,
+    /// Requests answered 404/405.
+    pub not_found: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// End-to-end latency of `/elect` requests (admission to response).
+    pub elect_latency: Log2Histogram,
+    /// Jobs currently queued (gauge).
+    pub queue_depth: AtomicI64,
+    /// Workers currently running a job (gauge).
+    pub workers_busy: AtomicI64,
+    /// Total microseconds workers spent running jobs (for utilization).
+    pub worker_busy_us: AtomicU64,
+}
+
+impl SvcMetrics {
+    /// Bumps a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one `/elect` request latency.
+    pub fn observe_elect(&self, latency: Duration) {
+        self.elect_latency.record(latency);
+    }
+
+    /// Renders the Prometheus text exposition, folding in the cache
+    /// counters and static worker-pool facts.
+    pub fn render_prometheus(
+        &self,
+        cache: &CacheSnapshot,
+        workers: usize,
+        queue_cap: usize,
+    ) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+        };
+        counter(
+            "hre_svc_requests_total_elect_ok",
+            "POST /elect requests answered 200",
+            self.elect_ok.load(Ordering::Relaxed),
+        );
+        counter(
+            "hre_svc_requests_total_elect_failed",
+            "POST /elect requests answered 422 (spec violated)",
+            self.elect_failed.load(Ordering::Relaxed),
+        );
+        counter(
+            "hre_svc_requests_total_bad",
+            "requests answered 400",
+            self.bad_requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "hre_svc_requests_total_rejected_busy",
+            "requests answered 503 because the job queue was full",
+            self.rejected_busy.load(Ordering::Relaxed),
+        );
+        counter(
+            "hre_svc_requests_total_deadline_expired",
+            "requests answered 504 after their deadline passed",
+            self.deadline_expired.load(Ordering::Relaxed),
+        );
+        counter(
+            "hre_svc_jobs_dropped_stale_total",
+            "jobs discarded unexecuted because their deadline had passed",
+            self.jobs_dropped_stale.load(Ordering::Relaxed),
+        );
+        counter(
+            "hre_svc_requests_total_healthz",
+            "GET /healthz requests",
+            self.health_checks.load(Ordering::Relaxed),
+        );
+        counter(
+            "hre_svc_requests_total_metrics",
+            "GET /metrics requests",
+            self.metrics_scrapes.load(Ordering::Relaxed),
+        );
+        counter(
+            "hre_svc_requests_total_not_found",
+            "requests answered 404 or 405",
+            self.not_found.load(Ordering::Relaxed),
+        );
+        counter(
+            "hre_svc_connections_total",
+            "TCP connections accepted",
+            self.connections.load(Ordering::Relaxed),
+        );
+        counter("hre_svc_cache_hits_total", "result cache hits", cache.hits);
+        counter("hre_svc_cache_misses_total", "result cache misses", cache.misses);
+        counter("hre_svc_cache_inserts_total", "result cache inserts", cache.inserts);
+        counter("hre_svc_cache_evictions_total", "result cache evictions", cache.evictions);
+        counter(
+            "hre_svc_worker_busy_microseconds_total",
+            "cumulative microseconds workers spent executing jobs",
+            self.worker_busy_us.load(Ordering::Relaxed),
+        );
+
+        let mut gauge = |name: &str, help: &str, value: i64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"));
+        };
+        gauge(
+            "hre_svc_queue_depth",
+            "jobs currently waiting in the bounded queue",
+            self.queue_depth.load(Ordering::Relaxed).max(0),
+        );
+        gauge(
+            "hre_svc_workers_busy",
+            "workers currently executing a job",
+            self.workers_busy.load(Ordering::Relaxed).max(0),
+        );
+        gauge("hre_svc_workers", "size of the worker pool", workers as i64);
+        gauge("hre_svc_queue_capacity", "capacity of the bounded job queue", queue_cap as i64);
+        gauge("hre_svc_cache_entries", "entries resident in the result cache", cache.len as i64);
+
+        // Latency histogram, cumulative buckets, microsecond upper
+        // bounds: bucket i covers latencies < 2^(i+1) µs.
+        let snap = self.elect_latency.snapshot();
+        let name = "hre_svc_elect_latency_microseconds";
+        out.push_str(&format!(
+            "# HELP {name} end-to-end latency of /elect requests\n# TYPE {name} histogram\n"
+        ));
+        let mut cumulative = 0u64;
+        for (i, &b) in snap.buckets.iter().enumerate() {
+            cumulative += b;
+            if i + 1 < LOG2_BUCKETS {
+                out.push_str(&format!(
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    1u64 << (i + 1)
+                ));
+            }
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+        out.push_str(&format!("{name}_sum {}\n", snap.sum_us));
+        out.push_str(&format!("{name}_count {}\n", snap.count));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_prometheus_text() {
+        let m = SvcMetrics::default();
+        SvcMetrics::inc(&m.elect_ok);
+        SvcMetrics::inc(&m.elect_ok);
+        SvcMetrics::inc(&m.rejected_busy);
+        m.queue_depth.store(3, Ordering::Relaxed);
+        m.observe_elect(Duration::from_micros(100));
+        m.observe_elect(Duration::from_micros(5_000));
+        let cache = CacheSnapshot { hits: 7, misses: 2, inserts: 2, evictions: 1, len: 2 };
+        let text = m.render_prometheus(&cache, 4, 256);
+        assert!(text.contains("hre_svc_requests_total_elect_ok 2\n"), "{text}");
+        assert!(text.contains("hre_svc_requests_total_rejected_busy 1\n"), "{text}");
+        assert!(text.contains("hre_svc_cache_hits_total 7\n"), "{text}");
+        assert!(text.contains("hre_svc_queue_depth 3\n"), "{text}");
+        assert!(text.contains("hre_svc_workers 4\n"), "{text}");
+        assert!(text.contains("# TYPE hre_svc_elect_latency_microseconds histogram"), "{text}");
+        assert!(text.contains("hre_svc_elect_latency_microseconds_count 2\n"), "{text}");
+        assert!(text.contains("le=\"+Inf\"} 2\n"), "{text}");
+        // 100 µs lands in bucket le=128; both samples are <= 8192.
+        assert!(text.contains("le=\"128\"} 1\n"), "{text}");
+        assert!(text.contains("le=\"8192\"} 2\n"), "{text}");
+        // Every histogram line is monotone non-decreasing.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("hre_svc_elect_latency_microseconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+}

@@ -1,0 +1,576 @@
+//! The election daemon: acceptor, connection threads, worker pool with
+//! bounded-queue backpressure, per-request deadlines, and graceful
+//! drain.
+//!
+//! Thread topology:
+//!
+//! ```text
+//!   acceptor ──spawns──▶ connection threads (one per TCP connection)
+//!       │                      │  cache hit: respond immediately
+//!       │                      │  miss: try_send ─▶ bounded job queue
+//!       │                                               │
+//!       └── on shutdown: joins conn threads         workers (pool)
+//!                                                       │ run election in
+//!                                                       │ canonical coords,
+//!                                                       │ fill cache, reply
+//! ```
+//!
+//! Backpressure: the job queue is a bounded crossbeam channel; when it
+//! is full the connection thread answers `503` with `Retry-After`
+//! instead of queueing unbounded work. Deadlines: each admitted job
+//! carries `admitted + deadline`; the connection thread waits at most
+//! that long (`504` after), and a worker that dequeues an
+//! already-expired job drops it unexecuted. Shutdown: flipping the
+//! shared `AtomicBool` (wired to SIGTERM/SIGINT by the CLI) stops the
+//! acceptor, lets in-flight requests finish, drains the queue, then
+//! joins every thread.
+
+use crate::api::{self, ElectRequest};
+use crate::cache::{CacheKey, CacheSnapshot, CachedResult, ShardedLru};
+use crate::http::{HttpConn, ReadOutcome, Request, Response};
+use crate::metrics::SvcMetrics;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
+use hre_runtime::HistSnapshot;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration (defaults match `hre serve`'s flag defaults).
+#[derive(Clone, Debug)]
+pub struct SvcConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_cap: usize,
+    /// Number of independently locked cache shards.
+    pub cache_shards: usize,
+    /// Bounded job-queue capacity (full queue ⇒ 503).
+    pub queue_cap: usize,
+    /// Per-request deadline, admission to response.
+    pub deadline: Duration,
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        SvcConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            cache_cap: 1024,
+            cache_shards: 8,
+            queue_cap: 256,
+            deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// How often blocked loops wake up to check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// A job admitted to the queue: the request in canonical coordinates,
+/// its cache key, and the single-use reply channel back to the
+/// connection thread. Dropping the job unreplied makes the connection
+/// thread's `recv` disconnect, which it reports as a deadline miss.
+struct Job {
+    canon_req: ElectRequest,
+    key: CacheKey,
+    deadline: Instant,
+    reply: Sender<CachedResult>,
+}
+
+/// Everything the connection threads share.
+struct Shared {
+    cfg: SvcConfig,
+    metrics: SvcMetrics,
+    cache: ShardedLru,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] leaks the threads; call `shutdown`.
+pub struct ServerHandle {
+    /// The address actually bound (resolves port 0).
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: JoinHandle<u64>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Final counters reported when the daemon drains.
+#[derive(Clone, Debug)]
+pub struct SvcSummary {
+    /// Connections accepted over the daemon's lifetime.
+    pub connections: u64,
+    /// `/elect` requests answered 200.
+    pub elect_ok: u64,
+    /// `/elect` requests answered 422.
+    pub elect_failed: u64,
+    /// Requests answered 503 (queue full).
+    pub rejected_busy: u64,
+    /// Requests answered 504 (deadline).
+    pub deadline_expired: u64,
+    /// Final cache counters.
+    pub cache: CacheSnapshot,
+    /// `/elect` latency histogram.
+    pub latency: HistSnapshot,
+}
+
+impl std::fmt::Display for SvcSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "served {} elections ({} failed spec) over {} connections | \
+             503s {} | 504s {}",
+            self.elect_ok,
+            self.elect_failed,
+            self.connections,
+            self.rejected_busy,
+            self.deadline_expired
+        )?;
+        writeln!(
+            f,
+            "cache: {} hits / {} misses ({} entries, {} evictions)",
+            self.cache.hits, self.cache.misses, self.cache.len, self.cache.evictions
+        )?;
+        match self.latency.mean() {
+            Some(mean) => {
+                writeln!(
+                    f,
+                    "latency: {} samples, mean {:.0} µs",
+                    self.latency.count,
+                    mean.as_secs_f64() * 1e6
+                )?;
+                write!(f, "{}", self.latency.pretty())
+            }
+            None => writeln!(f, "latency: no samples"),
+        }
+    }
+}
+
+/// Binds the listener and spins up the acceptor and worker threads.
+pub fn start(cfg: SvcConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        cache: ShardedLru::new(cfg.cache_cap, cfg.cache_shards),
+        cfg: cfg.clone(),
+        metrics: SvcMetrics::default(),
+        shutdown: AtomicBool::new(false),
+    });
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (job_tx, job_rx) = bounded::<Job>(cfg.queue_cap.max(1));
+
+    let workers: Vec<JoinHandle<()>> = (0..cfg.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let rx = job_rx.clone();
+            std::thread::spawn(move || worker_loop(&shared, &rx))
+        })
+        .collect();
+    drop(job_rx);
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || acceptor_loop(listener, &shared, &shutdown, job_tx))
+    };
+
+    Ok(ServerHandle { addr, shared, shutdown, acceptor, workers })
+}
+
+impl ServerHandle {
+    /// The flag that triggers a graceful drain — hand it to
+    /// `signal_hook::flag::register` so SIGTERM/SIGINT stop the daemon.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Current metrics, rendered as the `/metrics` endpoint would.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.render_prometheus(
+            &self.shared.cache.snapshot(),
+            self.shared.cfg.workers.max(1),
+            self.shared.cfg.queue_cap.max(1),
+        )
+    }
+
+    /// Requests a graceful drain and joins every thread: the acceptor
+    /// stops accepting and joins the connection threads (each finishes
+    /// its in-flight request), the workers drain the remaining queue,
+    /// then everything exits.
+    pub fn shutdown(self) -> SvcSummary {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let connections = self.acceptor.join().expect("acceptor panicked");
+        for w in self.workers {
+            w.join().expect("worker panicked");
+        }
+        let m = &self.shared.metrics;
+        SvcSummary {
+            connections,
+            elect_ok: m.elect_ok.load(Ordering::Relaxed),
+            elect_failed: m.elect_failed.load(Ordering::Relaxed),
+            rejected_busy: m.rejected_busy.load(Ordering::Relaxed),
+            deadline_expired: m.deadline_expired.load(Ordering::Relaxed),
+            cache: self.shared.cache.snapshot(),
+            latency: m.elect_latency.snapshot(),
+        }
+    }
+
+    /// Blocks until `flag` (typically wired to SIGTERM/SIGINT) flips,
+    /// then drains. Used by `hre serve`.
+    pub fn run_until(self, flag: &AtomicBool) -> SvcSummary {
+        while !flag.load(Ordering::Relaxed) {
+            std::thread::sleep(POLL);
+        }
+        self.shutdown()
+    }
+}
+
+/// Accepts connections until shutdown; returns the count accepted.
+fn acceptor_loop(
+    listener: TcpListener,
+    shared: &Arc<Shared>,
+    shutdown: &AtomicBool,
+    job_tx: Sender<Job>,
+) -> u64 {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut accepted = 0u64;
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                accepted += 1;
+                SvcMetrics::inc(&shared.metrics.connections);
+                let shared = Arc::clone(shared);
+                let tx = job_tx.clone();
+                conns.push(std::thread::spawn(move || connection_loop(stream, &shared, tx)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+        // Reap finished connection threads so the vector stays small.
+        if conns.len() > 32 {
+            let (done, live): (Vec<_>, Vec<_>) = conns.into_iter().partition(|h| h.is_finished());
+            for h in done {
+                let _ = h.join();
+            }
+            conns = live;
+        }
+    }
+    // The shared flag is what connection threads poll; make sure it is
+    // set even if only the handle's flag flipped (signal path).
+    shared.shutdown.store(true, Ordering::SeqCst);
+    for h in conns {
+        let _ = h.join();
+    }
+    // `job_tx` drops here: once every connection thread is done, the
+    // workers see the channel disconnect after draining what remains.
+    accepted
+}
+
+/// Serves one connection: keep-alive request loop until the peer closes,
+/// an error, or shutdown.
+fn connection_loop(stream: TcpStream, shared: &Shared, job_tx: Sender<Job>) {
+    let Ok(mut conn) = HttpConn::new(stream, POLL) else { return };
+    loop {
+        let outcome = conn.read_request(Instant::now() + Duration::from_secs(5));
+        match outcome {
+            ReadOutcome::IdlePoll => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed(why) => {
+                SvcMetrics::inc(&shared.metrics.bad_requests);
+                let _ = Response::json(400, api::error_json(&why)).write_to(conn.stream(), true);
+                return;
+            }
+            ReadOutcome::Request(req) => {
+                let close = req.wants_close() || shared.shutdown.load(Ordering::Relaxed);
+                let resp = route(&req, shared, &job_tx);
+                if resp.write_to(conn.stream(), close).is_err() || close {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches one parsed request.
+fn route(req: &Request, shared: &Shared, job_tx: &Sender<Job>) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/elect") => handle_elect(&req.body, shared, job_tx),
+        ("GET", "/healthz") => {
+            SvcMetrics::inc(&shared.metrics.health_checks);
+            Response::text(200, "ok\n")
+        }
+        ("GET", "/metrics") => {
+            SvcMetrics::inc(&shared.metrics.metrics_scrapes);
+            let text = shared.metrics.render_prometheus(
+                &shared.cache.snapshot(),
+                shared.cfg.workers.max(1),
+                shared.cfg.queue_cap.max(1),
+            );
+            Response::text(200, text)
+        }
+        ("POST", _) | ("GET", _) => {
+            SvcMetrics::inc(&shared.metrics.not_found);
+            Response::json(404, api::error_json("no such endpoint"))
+        }
+        _ => {
+            SvcMetrics::inc(&shared.metrics.not_found);
+            Response::json(405, api::error_json("method not allowed"))
+        }
+    }
+}
+
+/// The `/elect` path: parse, consult the cache, or queue for a worker.
+fn handle_elect(body: &[u8], shared: &Shared, job_tx: &Sender<Job>) -> Response {
+    let admitted = Instant::now();
+    let request = match ElectRequest::from_json(body) {
+        Ok(r) => r,
+        Err(why) => {
+            SvcMetrics::inc(&shared.metrics.bad_requests);
+            return Response::json(400, api::error_json(&why));
+        }
+    };
+    let (canon_req, rot) = request.canonicalized();
+    let key = CacheKey { canon: canon_req.labels.clone(), algo: canon_req.algo, k: canon_req.k };
+
+    if let Some(cached) = shared.cache.get(&key) {
+        let resp = respond(&request, rot, cached, shared, admitted);
+        return resp.with_header("x-cache", "HIT".into());
+    }
+
+    // Miss: hand the canonical request to the worker pool, bounded.
+    let (reply_tx, reply_rx) = bounded::<CachedResult>(1);
+    let deadline = admitted + shared.cfg.deadline;
+    let job = Job { canon_req, key, deadline, reply: reply_tx };
+    match job_tx.send_timeout(job, Duration::ZERO) {
+        Ok(()) => shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed),
+        Err(SendTimeoutError::Timeout(_)) => {
+            SvcMetrics::inc(&shared.metrics.rejected_busy);
+            return Response::json(503, api::error_json("job queue full, retry shortly"))
+                .with_header("retry-after", "1".into());
+        }
+        Err(SendTimeoutError::Disconnected(_)) => {
+            return Response::json(503, api::error_json("service shutting down"))
+                .with_header("retry-after", "1".into());
+        }
+    };
+    let wait = deadline.saturating_duration_since(Instant::now());
+    match reply_rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+        Ok(result) => {
+            let resp = respond(&request, rot, result, shared, admitted);
+            resp.with_header("x-cache", "MISS".into())
+        }
+        // Timeout, or the worker dropped the job as already-expired.
+        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+            SvcMetrics::inc(&shared.metrics.deadline_expired);
+            Response::json(504, api::error_json("deadline expired"))
+        }
+    }
+}
+
+/// Turns a (canonical-coordinates) result into the HTTP response in the
+/// request's own coordinates, recording latency and outcome counters.
+fn respond(
+    request: &ElectRequest,
+    rot: usize,
+    result: CachedResult,
+    shared: &Shared,
+    admitted: Instant,
+) -> Response {
+    let resp = match result {
+        Ok(canon_out) => {
+            SvcMetrics::inc(&shared.metrics.elect_ok);
+            let out = canon_out.into_coords(rot, request.labels.len());
+            Response::json(200, api::response_json(request, &out))
+        }
+        Err(why) => {
+            SvcMetrics::inc(&shared.metrics.elect_failed);
+            Response::json(422, api::error_json(&why))
+        }
+    };
+    shared.metrics.observe_elect(admitted.elapsed());
+    resp
+}
+
+/// One worker: dequeue, skip stale jobs, compute (deduping against the
+/// cache), publish, reply. Exits when the queue disconnects (every
+/// connection thread gone) — which is how shutdown drains.
+fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
+    loop {
+        let job = match rx.recv_timeout(POLL) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if Instant::now() >= job.deadline {
+            // Admitted but nobody can use the answer anymore; the reply
+            // sender drops, which the connection thread reports as 504.
+            SvcMetrics::inc(&shared.metrics.jobs_dropped_stale);
+            continue;
+        }
+        shared.metrics.workers_busy.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        // Another worker may have computed this key while the job sat in
+        // the queue; prefer its cached answer over re-running. `peek`
+        // keeps the hit/miss counters client-facing.
+        let result = match shared.cache.peek(&job.key) {
+            Some(hit) => hit,
+            None => {
+                let computed = api::run_election(&job.canon_req);
+                shared.cache.insert(job.key.clone(), computed.clone());
+                computed
+            }
+        };
+        shared
+            .metrics
+            .worker_busy_us
+            .fetch_add(t0.elapsed().as_micros().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        shared.metrics.workers_busy.fetch_sub(1, Ordering::Relaxed);
+        let _ = job.reply.send(result); // peer may have timed out; fine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Client;
+
+    fn client(handle: &ServerHandle) -> Client {
+        Client::connect(&handle.addr.to_string(), Duration::from_secs(5)).expect("connect")
+    }
+
+    #[test]
+    fn serves_elections_and_health_and_metrics() {
+        let handle = start(SvcConfig { workers: 2, ..Default::default() }).expect("start");
+        let mut c = client(&handle);
+
+        let r = c.get("/healthz").expect("healthz");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body_text(), "ok\n");
+
+        let r = c.post_json("/elect", r#"{"ring":[1,2,2],"algo":"ak","k":2}"#).expect("elect");
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        assert_eq!(r.header("x-cache"), Some("MISS"));
+        let body = r.body_text();
+        assert!(body.contains(r#""leader":0"#), "{body}");
+
+        // Same ring rotated: canonical key dedupes, leader re-indexed.
+        let r = c.post_json("/elect", r#"{"ring":[2,2,1],"algo":"ak","k":2}"#).expect("elect");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-cache"), Some("HIT"));
+        assert!(r.body_text().contains(r#""leader":2"#), "{}", r.body_text());
+
+        let r = c.get("/metrics").expect("metrics");
+        assert_eq!(r.status, 200);
+        let text = r.body_text();
+        assert!(text.contains("hre_svc_cache_hits_total 1"), "{text}");
+        assert!(text.contains("hre_svc_requests_total_elect_ok 2"), "{text}");
+
+        let summary = handle.shutdown();
+        assert_eq!(summary.elect_ok, 2);
+        assert_eq!(summary.cache.hits, 1);
+        assert_eq!(summary.latency.count, 2);
+    }
+
+    #[test]
+    fn bad_requests_and_spec_violations_get_4xx() {
+        let handle = start(SvcConfig::default()).expect("start");
+        let mut c = client(&handle);
+        let r = c.post_json("/elect", "not json").expect("resp");
+        assert_eq!(r.status, 400);
+        let r = c.post_json("/elect", r#"{"ring":[5,1,5,2],"algo":"cr"}"#).expect("resp");
+        assert_eq!(r.status, 422);
+        assert!(r.body_text().contains("did not satisfy"), "{}", r.body_text());
+        let r = c.get("/nope").expect("resp");
+        assert_eq!(r.status, 404);
+        let summary = handle.shutdown();
+        assert_eq!(summary.elect_failed, 1);
+    }
+
+    #[test]
+    fn full_queue_backpressures_with_503() {
+        // One worker, queue of one, and a deadline long enough that jobs
+        // stack: the third concurrent request must see 503.
+        let handle = start(SvcConfig {
+            workers: 1,
+            queue_cap: 1,
+            cache_cap: 0, // no dedupe — every request must queue
+            deadline: Duration::from_secs(5),
+            ..Default::default()
+        })
+        .expect("start");
+        let addr = handle.addr.to_string();
+        // Big enough that one election takes a visible amount of time.
+        let body = {
+            let ring: Vec<String> = (0..128u64).map(|i| (i % 11).to_string()).collect();
+            format!(r#"{{"ring":[{}],"algo":"ak"}}"#, ring.join(","))
+        };
+        let threads: Vec<_> = (0..6)
+            .map(|_| {
+                let addr = addr.clone();
+                let body = body.clone();
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(&addr, Duration::from_secs(10)).expect("connect");
+                    c.post_json("/elect", &body).expect("response").status
+                })
+            })
+            .collect();
+        let statuses: Vec<u16> = threads.into_iter().map(|t| t.join().expect("join")).collect();
+        let summary = handle.shutdown();
+        assert!(
+            statuses.contains(&503) || summary.rejected_busy > 0,
+            "expected at least one 503 among {statuses:?}"
+        );
+        assert!(statuses.iter().all(|&s| s == 200 || s == 503), "{statuses:?}");
+    }
+
+    #[test]
+    fn tight_deadline_expires_with_504() {
+        let handle = start(SvcConfig {
+            workers: 1,
+            deadline: Duration::from_millis(1),
+            cache_cap: 0,
+            ..Default::default()
+        })
+        .expect("start");
+        let mut c = client(&handle);
+        // A large election cannot finish in 1 ms.
+        let ring: Vec<String> = (0..128u64).map(|i| (i % 11).to_string()).collect();
+        let body = format!(r#"{{"ring":[{}],"algo":"ak"}}"#, ring.join(","));
+        let r = c.post_json("/elect", &body).expect("resp");
+        assert_eq!(r.status, 504, "{}", r.body_text());
+        let summary = handle.shutdown();
+        assert_eq!(summary.deadline_expired, 1);
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_cleanly() {
+        let handle = start(SvcConfig::default()).expect("start");
+        let mut c = client(&handle);
+        for _ in 0..3 {
+            let r = c.post_json("/elect", r#"{"ring":[1,2,2]}"#).expect("elect");
+            assert_eq!(r.status, 200);
+        }
+        let flag = handle.shutdown_flag();
+        flag.store(true, Ordering::SeqCst);
+        // run_until returns promptly once the flag is set.
+        let summary = handle.run_until(&flag);
+        assert_eq!(summary.elect_ok, 3);
+        assert_eq!(summary.cache.hits, 2);
+    }
+}

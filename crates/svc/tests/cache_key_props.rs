@@ -1,0 +1,87 @@
+//! Property tests for the canonical-rotation cache key: it must be
+//! **rotation-invariant** (all `n` rotations of a labeling map to one
+//! key — otherwise the cache misses work it already did) and
+//! **injective up to rotation** (labelings that are *not* rotations of
+//! each other get distinct keys — otherwise the cache would serve one
+//! ring's leader for a different ring, a correctness bug, not a
+//! performance one).
+
+use hre_svc::{AlgoId, CacheKey};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A small labeling: lengths 2..=12 over a small alphabet so collisions
+/// between *distinct* necklaces are actually exercised.
+fn arb_labels() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..5, 2..13)
+}
+
+/// All rotations of `labels`.
+fn rotations(labels: &[u64]) -> Vec<Vec<u64>> {
+    (0..labels.len())
+        .map(|d| {
+            let mut r = labels.to_vec();
+            r.rotate_left(d);
+            r
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every rotation of a labeling yields the same cache key, and the
+    /// key's canonical word is itself one of those rotations (the
+    /// lexicographically least one).
+    #[test]
+    fn key_is_rotation_invariant(labels in arb_labels(), algo_ix in 0usize..3, k in 1usize..5) {
+        let algo = [AlgoId::Ak, AlgoId::Bk, AlgoId::OracleN][algo_ix];
+        let rots = rotations(&labels);
+        let keys: HashSet<CacheKey> =
+            rots.iter().map(|r| CacheKey::new(r, algo, k)).collect();
+        prop_assert_eq!(keys.len(), 1, "rotations of {:?} produced multiple keys", labels);
+        let key = keys.into_iter().next().unwrap();
+        prop_assert!(rots.contains(&key.canon), "canon must be a rotation of the input");
+        let min = rots.iter().min().unwrap();
+        prop_assert_eq!(&key.canon, min, "canon must be the least rotation");
+    }
+
+    /// Labelings that are not rotations of one another get distinct
+    /// keys (same algo, same k): injectivity up to rotation.
+    #[test]
+    fn key_is_injective_up_to_rotation(a in arb_labels(), b in arb_labels()) {
+        let ka = CacheKey::new(&a, AlgoId::Ak, 2);
+        let kb = CacheKey::new(&b, AlgoId::Ak, 2);
+        let equivalent = rotations(&a).contains(&b);
+        if equivalent {
+            prop_assert_eq!(ka, kb);
+        } else {
+            prop_assert_ne!(ka, kb, "{:?} and {:?} are not rotations yet share a key", a, b);
+        }
+    }
+
+    /// Algorithm and multiplicity bound separate otherwise-equal keys —
+    /// a Bk outcome must never be served for an Ak request.
+    #[test]
+    fn algo_and_k_partition_the_keyspace(labels in arb_labels()) {
+        let base = CacheKey::new(&labels, AlgoId::Ak, 2);
+        prop_assert_ne!(CacheKey::new(&labels, AlgoId::Bk, 2), base.clone());
+        prop_assert_ne!(CacheKey::new(&labels, AlgoId::Ak, 3), base);
+    }
+}
+
+/// Exhaustive check on every binary necklace of length <= 8: the number
+/// of distinct keys equals the number of distinct rotation classes.
+#[test]
+fn exhaustive_binary_keys_count_rotation_classes() {
+    for n in 2..=8usize {
+        let mut canon_classes: HashSet<Vec<u64>> = HashSet::new();
+        let mut keys: HashSet<CacheKey> = HashSet::new();
+        for word in 0..(1u32 << n) {
+            let labels: Vec<u64> = (0..n).map(|i| u64::from(word >> i & 1)).collect();
+            canon_classes.insert(rotations(&labels).into_iter().min().unwrap());
+            keys.insert(CacheKey::new(&labels, AlgoId::Ak, 2));
+        }
+        assert_eq!(keys.len(), canon_classes.len(), "n={n}");
+    }
+}

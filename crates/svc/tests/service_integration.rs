@@ -1,0 +1,161 @@
+//! End-to-end integration: a real daemon on an ephemeral port, hit by
+//! concurrent clients with a mixed Ak/Bk workload over rotated rings.
+//! Verifies (1) every served response agrees with an independent
+//! `hre_sim` run, (2) cache hits return the same bytes as misses, and
+//! (3) the `/metrics` counters reconcile exactly with what the clients
+//! observed.
+
+use hre_core::{Ak, Bk};
+use hre_ring::RingLabeling;
+use hre_sim::{run, RoundRobinSched, RunOptions};
+use hre_svc::{start, AlgoId, Client, ElectRequest, Json, SvcConfig};
+use std::time::Duration;
+
+/// One client's tally of what it saw.
+#[derive(Default)]
+struct Seen {
+    ok: u64,
+    hits: u64,
+    misses: u64,
+}
+
+/// The workload: every rotation of two rings, for both algorithms.
+fn workload() -> Vec<ElectRequest> {
+    let rings: [&[u64]; 2] = [&[1, 3, 1, 3, 2, 2, 1, 2], &[2, 1, 2, 2, 1, 1, 2, 1, 1, 2]];
+    let mut reqs = Vec::new();
+    for base in rings {
+        for d in 0..base.len() {
+            let mut labels = base.to_vec();
+            labels.rotate_left(d);
+            for algo in [AlgoId::Ak, AlgoId::Bk] {
+                reqs.push(ElectRequest::new(labels.clone(), algo, None).expect("valid"));
+            }
+        }
+    }
+    reqs
+}
+
+/// Independent ground truth for a request, straight from the simulator.
+fn sim_truth(req: &ElectRequest) -> (usize, u64) {
+    let ring = RingLabeling::from_raw(&req.labels);
+    let mut sched = RoundRobinSched::default();
+    let rep = match req.algo {
+        AlgoId::Ak => {
+            let r = run(&Ak::new(req.k), &ring, &mut sched, RunOptions::default());
+            (r.clean(), r.leader, r.metrics.messages)
+        }
+        AlgoId::Bk => {
+            let r = run(&Bk::new(req.k), &ring, &mut sched, RunOptions::default());
+            (r.clean(), r.leader, r.metrics.messages)
+        }
+        _ => unreachable!("workload is Ak/Bk only"),
+    };
+    assert!(rep.0, "simulator run must be clean");
+    (rep.1.expect("leader"), rep.2)
+}
+
+/// Pulls a counter value out of the Prometheus text.
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}"))
+}
+
+#[test]
+fn concurrent_mixed_workload_agrees_with_sim_and_metrics_reconcile() {
+    let handle = start(SvcConfig {
+        workers: 3,
+        cache_cap: 64,
+        deadline: Duration::from_secs(30),
+        ..SvcConfig::default()
+    })
+    .expect("start daemon");
+    let addr = handle.addr.to_string();
+
+    let reqs = workload(); // 2 rings × 8/10 rotations × 2 algos = 72 requests
+    let total = reqs.len() as u64;
+
+    // Three clients split the workload round-robin, concurrently.
+    let threads: Vec<_> = (0..3)
+        .map(|c| {
+            let addr = addr.clone();
+            let reqs: Vec<ElectRequest> = reqs.iter().skip(c).step_by(3).cloned().collect();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr, Duration::from_secs(30)).expect("connect");
+                let mut seen = Seen::default();
+                for req in &reqs {
+                    let resp =
+                        client.post_json("/elect", &req.to_json().to_string()).expect("response");
+                    assert_eq!(resp.status, 200, "{}", resp.body_text());
+                    seen.ok += 1;
+                    match resp.header("x-cache") {
+                        Some("HIT") => seen.hits += 1,
+                        Some("MISS") => seen.misses += 1,
+                        other => panic!("missing x-cache header: {other:?}"),
+                    }
+                    let doc = Json::parse(&resp.body_text()).expect("valid json");
+                    let leader = doc.get("leader").and_then(Json::as_usize).expect("leader field");
+                    let messages =
+                        doc.get("messages").and_then(Json::as_u64).expect("messages field");
+                    let (want_leader, want_messages) = sim_truth(req);
+                    assert_eq!(leader, want_leader, "{req:?}");
+                    assert_eq!(messages, want_messages, "{req:?}");
+                }
+                seen
+            })
+        })
+        .collect();
+
+    let mut seen = Seen::default();
+    for t in threads {
+        let part = t.join().expect("client thread");
+        seen.ok += part.ok;
+        seen.hits += part.hits;
+        seen.misses += part.misses;
+    }
+    assert_eq!(seen.ok, total);
+    assert_eq!(seen.hits + seen.misses, total);
+    // 2 rings × 2 algos = 4 canonical elections; with 3 concurrent
+    // clients a canonical key may be computed more than once before its
+    // first insert lands, but never more than once per client.
+    assert!((4..=12).contains(&seen.misses), "misses = {}", seen.misses);
+
+    // The daemon's own counters must reconcile with the client tallies.
+    let mut client = Client::connect(&addr, Duration::from_secs(30)).expect("connect");
+    let resp = client.get("/metrics").expect("metrics");
+    assert_eq!(resp.status, 200);
+    let text = resp.body_text();
+    assert_eq!(metric(&text, "hre_svc_requests_total_elect_ok"), total);
+    assert_eq!(metric(&text, "hre_svc_cache_hits_total"), seen.hits);
+    assert_eq!(metric(&text, "hre_svc_cache_misses_total"), seen.misses);
+    assert_eq!(metric(&text, "hre_svc_requests_total_elect_failed"), 0);
+    assert_eq!(metric(&text, "hre_svc_requests_total_rejected_busy"), 0);
+    assert_eq!(metric(&text, "hre_svc_elect_latency_microseconds_count"), total);
+    assert_eq!(metric(&text, "hre_svc_requests_total_metrics"), 1);
+    assert!(metric(&text, "hre_svc_connections_total") >= 4);
+
+    // healthz still fine under/after load, and the drain is clean.
+    let resp = client.get("/healthz").expect("healthz");
+    assert_eq!(resp.status, 200);
+    let summary = handle.shutdown();
+    assert_eq!(summary.elect_ok, total);
+    assert_eq!(summary.cache.hits, seen.hits);
+    assert_eq!(summary.latency.count, total);
+}
+
+#[test]
+fn responses_are_bytewise_stable_across_cache_hit_and_miss() {
+    let handle = start(SvcConfig::default()).expect("start daemon");
+    let mut client =
+        Client::connect(&handle.addr.to_string(), Duration::from_secs(30)).expect("connect");
+    let req = ElectRequest::new(vec![1, 3, 1, 3, 2, 2, 1, 2], AlgoId::Ak, None).expect("valid");
+    let body = req.to_json().to_string();
+    let first = client.post_json("/elect", &body).expect("miss");
+    let second = client.post_json("/elect", &body).expect("hit");
+    assert_eq!(first.header("x-cache"), Some("MISS"));
+    assert_eq!(second.header("x-cache"), Some("HIT"));
+    assert_eq!(first.body, second.body, "hit must replay the exact bytes");
+    handle.shutdown();
+}

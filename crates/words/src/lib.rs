@@ -43,5 +43,6 @@ pub use lyndon::{
 };
 pub use period::{border_array, is_period, is_repeating_prefix, srp, srp_len, srp_len_naive};
 pub use rotation::{
-    is_primitive, is_primitive_naive, rotate_left, rotational_symmetries, rotations,
+    canonical_rotation, canonical_rotation_index, is_primitive, is_primitive_naive, rotate_left,
+    rotational_symmetries, rotations,
 };

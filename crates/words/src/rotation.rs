@@ -55,6 +55,33 @@ pub fn is_primitive<T: Eq>(sigma: &[T]) -> bool {
     !(p < n && n.is_multiple_of(p))
 }
 
+/// The index `d` of the **canonical rotation** of `sigma`: its
+/// lexicographically least rotation (Booth's algorithm, `O(n)`), with the
+/// smallest such `d` on ties. Two sequences have the same canonical
+/// rotation iff they are rotations of each other, so
+/// `(canonical_rotation(σ), …)` is a sound cache key for any
+/// rotation-invariant computation — e.g. the election service's
+/// canonical-ring result cache, where rotationally-equivalent rings must
+/// dedupe to one entry.
+pub fn canonical_rotation_index<T: Ord>(sigma: &[T]) -> usize {
+    crate::lyndon::least_rotation(sigma)
+}
+
+/// The canonical rotation itself: `rotate_left(σ, canonical_rotation_index(σ))`.
+/// For a primitive sequence this equals the Lyndon rotation `LW(σ)`; for
+/// non-primitive (symmetric) sequences it is still well defined and still
+/// rotation-invariant.
+///
+/// ```
+/// use hre_words::canonical_rotation;
+/// assert_eq!(canonical_rotation(&[2, 2, 1]), vec![1, 2, 2]);
+/// assert_eq!(canonical_rotation(&[1, 2, 2]), vec![1, 2, 2]);
+/// assert_eq!(canonical_rotation(&[2, 1, 2, 1]), vec![1, 2, 1, 2]);
+/// ```
+pub fn canonical_rotation<T: Ord + Clone>(sigma: &[T]) -> Vec<T> {
+    rotate_left(sigma, canonical_rotation_index(sigma))
+}
+
 /// Naive reference for [`is_primitive`]: checks every candidate divisor
 /// period directly.
 pub fn is_primitive_naive<T: Eq>(sigma: &[T]) -> bool {
@@ -117,6 +144,24 @@ mod tests {
         // The paper's remark ring (1,2,2) is asymmetric:
         assert!(is_primitive(&[1u8, 2, 2]));
         assert!(!is_primitive::<u8>(&[]));
+    }
+
+    #[test]
+    fn canonical_rotation_is_rotation_invariant_exhaustive() {
+        for len in 1..=9usize {
+            for bits in 0u32..(1 << len) {
+                let s: Vec<u8> = (0..len).map(|i| ((bits >> i) & 1) as u8).collect();
+                let canon = canonical_rotation(&s);
+                // Invariance: every rotation maps to the same canonical form.
+                for d in 0..len {
+                    assert_eq!(canonical_rotation(&rotate_left(&s, d)), canon, "s={s:?} d={d}");
+                }
+                // The canonical form is itself a rotation of s, and is the
+                // least one.
+                assert!(rotations(&s).contains(&canon), "s={s:?}");
+                assert_eq!(&canon, rotations(&s).iter().min().expect("non-empty"), "s={s:?}");
+            }
+        }
     }
 
     #[test]

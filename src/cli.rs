@@ -29,10 +29,18 @@ USAGE:
         [--fault-seed S]     seed for the fault schedules (tcp only, default 0)
         [--phases]           print Bk's phase table (bk + sim only)
         [--diagram]          print the virtual-time activity grid of the run (sim only)
+        [--json]             emit the run as JSON, byte-identical to POST /elect (sim + rr only)
   hre generate --n N [--k K] [--class C] [--seed S]   print a random ring
         --class a-kk|k1|ustar|exact        (default a-kk)
   hre impossibility --n N [--k0 K] [--seed S]         run the Theorem 1 adversary
   hre verify --ring L0,L1,... [--k K]                 model-check every interleaving
+  hre serve [--addr A] [--workers W] [--cache-cap C]  run the election daemon
+        [--queue-cap Q] [--deadline-ms D]  (defaults: 127.0.0.1:8080, 4 workers,
+                                            cache 1024, queue 256, deadline 2000 ms;
+                                            drains gracefully on SIGTERM/ctrl-c)
+  hre bench-svc [--addr A] [--requests N] [--connections C]   load-test a daemon
+        [--ring L0,L1,...] [--algo A] [--k K] [--no-rotate]
+        [--workers W] [--cache-cap C]      (no --addr: spins up an in-process daemon)
 ";
 
 /// Parsed arguments: `--key value` pairs plus bare flags.
@@ -48,7 +56,7 @@ pub fn parse(args: &[String]) -> Option<(String, Opts)> {
     let mut i = 0;
     while i < rest.len() {
         let key = rest[i].strip_prefix("--")?.to_string();
-        if key == "phases" || key == "diagram" {
+        if key == "phases" || key == "diagram" || key == "json" || key == "no-rotate" {
             opts.insert(key, "true".into());
             i += 1;
             continue;
@@ -68,6 +76,8 @@ pub fn dispatch(cmd: &str, opts: &Opts) -> Result<String, String> {
         "generate" => generate_cmd(opts),
         "impossibility" => impossibility_cmd(opts),
         "verify" => verify_cmd(opts),
+        "serve" => serve_cmd(opts),
+        "bench-svc" => bench_svc_cmd(opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -127,6 +137,9 @@ fn elect_cmd(opts: &Opts) -> Result<String, String> {
     let ring = ring_from(opts)?;
     let algo = opts.get("algo").map(String::as_str).unwrap_or("ak");
     let k = u64_opt(opts, "k", ring.max_multiplicity() as u64)? as usize;
+    if opts.contains_key("json") {
+        return elect_json_cmd(opts, &ring, algo, k);
+    }
     match opts.get("transport").map(String::as_str).unwrap_or("sim") {
         "sim" => reject_tcp_only_flags(opts, "sim")?,
         "threads" => {
@@ -193,6 +206,38 @@ fn elect_cmd(opts: &Opts) -> Result<String, String> {
         return Err(format!("{out}election did not satisfy the specification"));
     }
     Ok(out)
+}
+
+/// `hre elect --json`: the run as the service's response document.
+///
+/// The output is **byte-identical** to the body a daemon returns for
+/// `POST /elect` on the same ring/algorithm/k (both sides build it via
+/// `hre_svc::response_json`), so served results can be diffed against
+/// in-process runs directly. That contract pins the execution model, so
+/// the flag only combines with the defaults the daemon uses: `sim`
+/// transport and the round-robin scheduler.
+fn elect_json_cmd(
+    opts: &Opts,
+    ring: &RingLabeling,
+    algo: &str,
+    k: usize,
+) -> Result<String, String> {
+    for key in ["phases", "diagram", "faults", "fault-seed"] {
+        if opts.contains_key(key) {
+            return Err(format!("--{key} cannot be combined with --json"));
+        }
+    }
+    if opts.get("transport").is_some_and(|t| t != "sim") {
+        return Err("--json requires --transport sim (the daemon's execution model)".into());
+    }
+    if opts.get("sched").is_some_and(|s| s != "rr") {
+        return Err("--json requires the default rr scheduler (matches the daemon)".into());
+    }
+    let algo_id = AlgoId::parse(algo).ok_or_else(|| format!("unknown algorithm '{algo}'"))?;
+    let labels: Vec<u64> = ring.labels().iter().map(|l| l.raw()).collect();
+    let req = ElectRequest::new(labels, algo_id, Some(k))?;
+    let out = crate::svc::run_election(&req)?;
+    Ok(crate::svc::response_json(&req, &out))
 }
 
 fn reject_sim_only_flags(opts: &Opts) -> Result<(), String> {
@@ -303,7 +348,7 @@ fn elect_tcp_cmd(opts: &Opts, ring: &RingLabeling, algo: &str, k: usize) -> Resu
             let _ = writeln!(
                 out,
                 "  rtt: {} clean samples, mean {:.0} µs",
-                t.rtt_count,
+                t.rtt.count,
                 mean.as_secs_f64() * 1e6
             );
             out.push_str(&rep.net.rtt_histogram_pretty());
@@ -418,6 +463,104 @@ fn verify_cmd(opts: &Opts) -> Result<String, String> {
     if !(ak.verified() && bk.verified()) {
         return Err(format!("{out}model checking FAILED"));
     }
+    Ok(out)
+}
+
+fn svc_config_from(opts: &Opts, default_addr: &str) -> Result<SvcConfig, String> {
+    Ok(SvcConfig {
+        addr: opts.get("addr").cloned().unwrap_or_else(|| default_addr.into()),
+        workers: u64_opt(opts, "workers", 4)? as usize,
+        cache_cap: u64_opt(opts, "cache-cap", 1024)? as usize,
+        cache_shards: u64_opt(opts, "cache-shards", 8)? as usize,
+        queue_cap: u64_opt(opts, "queue-cap", 256)? as usize,
+        deadline: std::time::Duration::from_millis(u64_opt(opts, "deadline-ms", 2000)?),
+    })
+}
+
+/// `hre serve`: run the daemon until SIGTERM/SIGINT, then drain.
+///
+/// The listening banner is printed eagerly (the command only returns
+/// after the drain), so orchestration scripts can wait for readiness on
+/// stdout or just poll `GET /healthz`.
+fn serve_cmd(opts: &Opts) -> Result<String, String> {
+    let cfg = svc_config_from(opts, "127.0.0.1:8080")?;
+    let handle = crate::svc::start(cfg.clone()).map_err(|e| format!("cannot start daemon: {e}"))?;
+    let flag = handle.shutdown_flag();
+    for sig in [signal_hook::consts::SIGTERM, signal_hook::consts::SIGINT] {
+        signal_hook::flag::register(sig, std::sync::Arc::clone(&flag))
+            .map_err(|e| format!("cannot install signal handler: {e}"))?;
+    }
+    println!(
+        "hre-svc listening on http://{} — {} workers, cache {} entries, queue {}, deadline {} ms",
+        handle.addr,
+        cfg.workers,
+        cfg.cache_cap,
+        cfg.queue_cap,
+        cfg.deadline.as_millis()
+    );
+    println!("POST /elect | GET /healthz | GET /metrics — SIGTERM or ctrl-c drains and exits");
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    let summary = handle.run_until(&flag);
+    Ok(format!("drained cleanly\n{summary}"))
+}
+
+/// `hre bench-svc`: closed-loop load against a daemon — an external one
+/// (`--addr`) or an in-process one spun up for the measurement.
+fn bench_svc_cmd(opts: &Opts) -> Result<String, String> {
+    let labels: Vec<u64> = match opts.get("ring") {
+        Some(_) => ring_from(opts)?.labels().iter().map(|l| l.raw()).collect(),
+        None => vec![1, 3, 1, 3, 2, 2, 1, 2], // the paper's Figure 1 ring
+    };
+    let algo_name = opts.get("algo").map(String::as_str).unwrap_or("ak");
+    let algo =
+        AlgoId::parse(algo_name).ok_or_else(|| format!("unknown algorithm '{algo_name}'"))?;
+    let k = match opts.get("k") {
+        Some(s) => Some(s.parse::<usize>().map_err(|e| format!("bad --k: {e}"))?),
+        None => None,
+    };
+    let base = ElectRequest::new(labels, algo, k)?;
+    let load = crate::svc::LoadOptions {
+        connections: u64_opt(opts, "connections", 8)? as usize,
+        requests: u64_opt(opts, "requests", 2000)?,
+        base,
+        rotate: !opts.contains_key("no-rotate"),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} requests over {} connections (ring n={}, algo {}, {})",
+        load.requests,
+        load.connections,
+        load.base.labels.len(),
+        load.base.algo.name(),
+        if load.rotate { "rotating" } else { "verbatim" }
+    );
+    let report = match opts.get("addr") {
+        Some(addr) => {
+            let _ = writeln!(out, "target: {addr}");
+            crate::svc::run_load(addr, &load)
+        }
+        None => {
+            let cfg = svc_config_from(opts, "127.0.0.1:0")?;
+            let handle =
+                crate::svc::start(cfg.clone()).map_err(|e| format!("cannot start daemon: {e}"))?;
+            let _ = writeln!(
+                out,
+                "target: in-process daemon on {} ({} workers, cache {})",
+                handle.addr, cfg.workers, cfg.cache_cap
+            );
+            let r = crate::svc::run_load(&handle.addr.to_string(), &load);
+            let summary = handle.shutdown();
+            let _ = writeln!(
+                out,
+                "server cache: {} hits / {} misses",
+                summary.cache.hits, summary.cache.misses
+            );
+            r
+        }
+    }
+    .map_err(|e| format!("load generation failed: {e}"))?;
+    out.push_str(&report.pretty());
     Ok(out)
 }
 
@@ -627,5 +770,62 @@ mod tests {
     fn help_prints_usage() {
         let out = run_cli(&["help"]).unwrap();
         assert!(out.contains("USAGE"), "{out}");
+        assert!(out.contains("hre serve"), "{out}");
+        assert!(out.contains("bench-svc"), "{out}");
+    }
+
+    #[test]
+    fn elect_json_emits_the_service_document() {
+        let out =
+            run_cli(&["elect", "--ring", "1,2,2", "--algo", "ak", "--k", "2", "--json"]).unwrap();
+        assert!(out.starts_with(r#"{"algo":"ak","ring":[1,2,2],"n":3,"k":2,"leader":0"#), "{out}");
+        assert!(!out.ends_with('\n'), "body must be the exact response bytes");
+        // The explicit flags above are the defaults: same bytes without them.
+        let out2 = run_cli(&["elect", "--ring", "1,2,2", "--json"]).unwrap();
+        assert_eq!(out, out2);
+        // sched rr is the daemon's scheduler, so it is accepted explicitly.
+        let out3 = run_cli(&["elect", "--ring", "1,2,2", "--json", "--sched", "rr"]).unwrap();
+        assert_eq!(out, out3);
+    }
+
+    #[test]
+    fn elect_json_rejects_incompatible_flags() {
+        for extra in
+            [&["--transport", "tcp"][..], &["--sched", "sync"], &["--diagram"], &["--phases"]]
+        {
+            let mut cmd = vec!["elect", "--ring", "1,2,2", "--json"];
+            cmd.extend_from_slice(extra);
+            let err = run_cli(&cmd).unwrap_err();
+            assert!(err.contains("--json") || err.contains("json"), "{extra:?}: {err}");
+        }
+        // Spec violations surface as errors, same as the plain path.
+        let err = run_cli(&["elect", "--ring", "5,1,5,2", "--algo", "cr", "--json"]).unwrap_err();
+        assert!(err.contains("did not satisfy"), "{err}");
+    }
+
+    #[test]
+    fn bench_svc_runs_against_an_in_process_daemon() {
+        let out = run_cli(&[
+            "bench-svc",
+            "--ring",
+            "1,2,2",
+            "--requests",
+            "20",
+            "--connections",
+            "2",
+            "--workers",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("in-process daemon"), "{out}");
+        assert!(out.contains("20 ok"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("req/s"), "{out}");
+    }
+
+    #[test]
+    fn serve_rejects_unbindable_address() {
+        let err = run_cli(&["serve", "--addr", "definitely-not-an-address"]).unwrap_err();
+        assert!(err.contains("cannot start daemon"), "{err}");
     }
 }

@@ -37,6 +37,7 @@
 //! | [`baselines`] | `hre-baselines` | Chang–Roberts, Peterson, known-`n` Lyndon election |
 //! | [`runtime`] | `hre-runtime` | One-thread-per-process crossbeam-channel runtime |
 //! | [`net`] | `hre-net` | TCP socket runtime: framing, fault injection, FIFO/exactly-once recovery |
+//! | [`svc`] | `hre-svc` | Election-as-a-service daemon: HTTP/1.1, worker pool, canonical-ring result cache |
 //! | [`analysis`] | `hre-analysis` | Executable lower bound / impossibility proofs, figure reconstruction |
 
 #![forbid(unsafe_code)]
@@ -51,6 +52,7 @@ pub use hre_net as net;
 pub use hre_ring as ring;
 pub use hre_runtime as runtime;
 pub use hre_sim as sim;
+pub use hre_svc as svc;
 pub use hre_words as words;
 
 /// One-stop imports for applications.
@@ -66,5 +68,6 @@ pub mod prelude {
         ExploreReport, FaultPlan, LinkFault, RandomSched, RoundRobinSched, RunOptions, RunReport,
         SyncSched, Verdict,
     };
+    pub use hre_svc::{AlgoId, ElectRequest, ServerHandle, SvcConfig};
     pub use hre_words::{labels, Label};
 }

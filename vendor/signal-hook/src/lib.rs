@@ -1,0 +1,130 @@
+//! Offline vendored subset of the `signal-hook` flag API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! ships the one slice of `signal-hook` the election service uses:
+//! [`flag::register`], which arranges for a shared `AtomicBool` to flip
+//! to `true` when a Unix signal (SIGTERM, SIGINT) arrives — the
+//! graceful-shutdown trigger of `hre serve`.
+//!
+//! This is the only crate in the workspace that needs `unsafe`: signal
+//! handlers must be installed through the C runtime, and the handler
+//! body is restricted to async-signal-safe operations (a relaxed atomic
+//! store and an atomic pointer load — no locks, no allocation).
+
+#![warn(missing_docs)]
+
+/// Signal numbers used by the service (Linux/x86-64 values, which match
+/// every platform Rust's `std` supports for these two signals).
+pub mod consts {
+    /// Interactive interrupt (ctrl-c).
+    pub const SIGINT: i32 = 2;
+    /// Termination request (what `kill` and orchestrators send).
+    pub const SIGTERM: i32 = 15;
+}
+
+/// Register an `AtomicBool` to be set when a signal arrives.
+pub mod flag {
+    use std::io;
+    use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+    use std::sync::Arc;
+
+    /// Highest signal number the registry covers (inclusive).
+    const MAX_SIGNAL: usize = 32;
+
+    /// One slot per signal: an `Arc<AtomicBool>` leaked into a raw
+    /// pointer, so the handler reads it without touching locks or the
+    /// allocator. `null` = not registered.
+    static SLOTS: [AtomicPtr<AtomicBool>; MAX_SIGNAL + 1] =
+        [const { AtomicPtr::new(std::ptr::null_mut()) }; MAX_SIGNAL + 1];
+
+    extern "C" {
+        /// ISO C `signal(2)`: on glibc this is the BSD variant — the
+        /// handler stays installed and interrupted syscalls restart.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    /// `SIG_ERR` as returned by `signal(2)`.
+    const SIG_ERR: usize = usize::MAX;
+
+    extern "C" fn handler(signum: i32) {
+        let idx = signum as usize;
+        if idx <= MAX_SIGNAL {
+            let ptr = SLOTS[idx].load(Ordering::Acquire);
+            if !ptr.is_null() {
+                // Async-signal-safe: one relaxed store into a flag whose
+                // backing allocation is never freed (see `register`).
+                unsafe { &*ptr }.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Arranges for `flag` to be set to `true` whenever `signum` is
+    /// delivered. Mirrors `signal_hook::flag::register`; at most one
+    /// flag per signal is supported (later registrations replace the
+    /// target flag, never uninstall the handler). The `Arc` is leaked —
+    /// registration is for the life of the process, as with the real
+    /// crate's default behavior.
+    pub fn register(signum: i32, flag: Arc<AtomicBool>) -> io::Result<()> {
+        let idx = signum as usize;
+        if !(1..=MAX_SIGNAL).contains(&idx) {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, "signal out of range"));
+        }
+        let raw = Arc::into_raw(flag) as *mut AtomicBool;
+        let prev = SLOTS[idx].swap(raw, Ordering::AcqRel);
+        // A replaced slot's Arc stays leaked: the handler may still be
+        // dereferencing it on another thread. Registrations are rare
+        // (per-process, not per-request), so the leak is bounded.
+        let _ = prev;
+        let rc = unsafe { signal(signum, handler as *const () as usize) };
+        if rc == SIG_ERR {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Test/introspection helper: `true` iff a flag is registered for
+    /// `signum`.
+    pub fn is_registered(signum: i32) -> bool {
+        let idx = signum as usize;
+        idx <= MAX_SIGNAL && !SLOTS[idx].load(Ordering::Acquire).is_null()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn register_and_raise_sets_flag() {
+        let flag = Arc::new(AtomicBool::new(false));
+        flag::register(consts::SIGTERM, Arc::clone(&flag)).expect("register SIGTERM");
+        assert!(flag::is_registered(consts::SIGTERM));
+        assert!(!flag.load(Ordering::Relaxed));
+        // Deliver a real SIGTERM to ourselves through the installed
+        // handler (std::process::id is our pid; kill(2) via /proc is not
+        // portable, so use the C raise()).
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        let rc = unsafe { raise(consts::SIGTERM) };
+        assert_eq!(rc, 0);
+        // The handler runs synchronously on this thread before raise
+        // returns (POSIX), but give a slow sanitizer a beat anyway.
+        for _ in 0..100 {
+            if flag.load(Ordering::Relaxed) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(flag.load(Ordering::Relaxed), "SIGTERM did not set the flag");
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let flag = Arc::new(AtomicBool::new(false));
+        assert!(flag::register(0, Arc::clone(&flag)).is_err());
+        assert!(flag::register(99, flag).is_err());
+    }
+}
