@@ -1,0 +1,4 @@
+//! Experiment binary; see `hre_bench::experiments::e20_cluster`.
+fn main() {
+    print!("{}", hre_bench::experiments::e20_cluster::report());
+}

@@ -19,6 +19,7 @@ pub mod e16_model_check;
 pub mod e17_scale;
 pub mod e18_net;
 pub mod e19_svc;
+pub mod e20_cluster;
 
 /// Runs every experiment in order and concatenates the reports — the body
 /// of `EXPERIMENTS.md`.
@@ -67,6 +68,10 @@ pub fn all() -> Vec<Experiment> {
         (
             "E19 — election-as-a-service agreement and canonical-rotation cache speedup",
             e19_svc::report,
+        ),
+        (
+            "E20 — cluster scaling by rotation-affinity sharding and kill transparency",
+            e20_cluster::report,
         ),
     ]
 }

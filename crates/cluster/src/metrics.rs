@@ -1,0 +1,392 @@
+//! Cluster-level metrics and the router's `/metrics` renderer.
+//!
+//! Naming follows the workspace's Prometheus conventions from day one
+//! (this crate has no legacy names to alias): every series is
+//! `hre_cluster_*`, counters end in `_total`, and times are `_seconds`
+//! in base units. Per-backend series carry a `backend="host:port"`
+//! label; breaker state is a gauge encoded 0 = closed, 1 = open,
+//! 2 = half-open alongside cumulative transition counters.
+//!
+//! The per-backend latency histograms double as the input to the
+//! **adaptive hedge threshold**: [`ClusterMetrics::hedge_threshold`]
+//! reads a backend's observed p95 (upper-bounded from the log₂ buckets)
+//! and hedges at `max(hedge_min, 2 × p95)` — a backend that is normally
+//! fast gets hedged quickly when it stalls, a backend that is normally
+//! slow is not hedged prematurely.
+
+use crate::health::Breaker;
+use hre_runtime::{HistSnapshot, Log2Histogram, LOG2_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters and latency for one backend, as seen from the router.
+#[derive(Debug, Default)]
+pub struct BackendMetrics {
+    /// Proxied requests attempted against this backend (live + hedge).
+    pub requests: AtomicU64,
+    /// Attempts that failed at the transport level.
+    pub errors: AtomicU64,
+    /// Attempts answered `503 busy` (backend alive, queue full).
+    pub busy: AtomicU64,
+    /// Hedged duplicates fired *because this backend* stalled.
+    pub hedges: AtomicU64,
+    /// Requests rerouted away from this backend (breaker open or
+    /// transport error) to a later ring position.
+    pub failovers: AtomicU64,
+    /// Latency of completed attempts against this backend.
+    pub latency: Log2Histogram,
+}
+
+/// Everything the router exposes on `GET /metrics`.
+pub struct ClusterMetrics {
+    backends: Vec<(String, BackendMetrics)>,
+    /// Client-facing requests accepted by the front door.
+    pub requests: AtomicU64,
+    /// Client-facing requests that exhausted every backend (502).
+    pub request_errors: AtomicU64,
+    /// Hedged duplicates whose response won the race.
+    pub hedge_wins: AtomicU64,
+    /// End-to-end front-door latency (accept to response).
+    pub request_latency: Log2Histogram,
+}
+
+/// Upper bound (µs) of the log₂ bucket holding quantile `q` of `snap`.
+/// Zero when the histogram is empty.
+fn quantile_upper_us(snap: &HistSnapshot, q: f64) -> u64 {
+    if snap.count == 0 {
+        return 0;
+    }
+    let rank = ((snap.count as f64) * q).ceil() as u64;
+    let mut cumulative = 0u64;
+    for (i, &b) in snap.buckets.iter().enumerate() {
+        cumulative += b;
+        if cumulative >= rank {
+            return 1u64 << (i + 1).min(63);
+        }
+    }
+    1u64 << 63
+}
+
+impl ClusterMetrics {
+    /// Metrics for a fixed set of backends (configuration order; the
+    /// index is the same as the [`crate::hash::HashRing`] backend index).
+    pub fn new(backends: &[String]) -> ClusterMetrics {
+        ClusterMetrics {
+            backends: backends.iter().map(|b| (b.clone(), BackendMetrics::default())).collect(),
+            requests: AtomicU64::new(0),
+            request_errors: AtomicU64::new(0),
+            hedge_wins: AtomicU64::new(0),
+            request_latency: Log2Histogram::default(),
+        }
+    }
+
+    /// Bumps a counter by one.
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The per-backend metrics slot for ring index `i`.
+    pub fn backend(&self, i: usize) -> &BackendMetrics {
+        &self.backends[i].1
+    }
+
+    /// When to hedge a request sitting on backend `i`: twice its
+    /// observed p95 (log₂-bucket upper bound), floored at `hedge_min`
+    /// so a cold or very fast backend is not hedged on noise.
+    pub fn hedge_threshold(&self, i: usize, hedge_min: Duration) -> Duration {
+        let snap = self.backends[i].1.latency.snapshot();
+        let p95_us = quantile_upper_us(&snap, 0.95);
+        hedge_min.max(Duration::from_micros(p95_us.saturating_mul(2)))
+    }
+
+    /// Renders the Prometheus text exposition. `breakers` must be the
+    /// same length and order as the backend list.
+    pub fn render_prometheus(&self, breakers: &[Breaker]) -> String {
+        assert_eq!(breakers.len(), self.backends.len());
+        let mut out = String::with_capacity(8192);
+
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+        };
+        counter(
+            "hre_cluster_requests_total",
+            "client-facing requests accepted by the router",
+            self.requests.load(Ordering::Relaxed),
+        );
+        counter(
+            "hre_cluster_request_errors_total",
+            "client-facing requests that exhausted every backend",
+            self.request_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            "hre_cluster_hedge_wins_total",
+            "hedged duplicates whose response won the race",
+            self.hedge_wins.load(Ordering::Relaxed),
+        );
+
+        let labeled = |out: &mut String, name: &str, help: &str, kind: &str| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        };
+        let series = |out: &mut String, name: &str, backend: &str, value: u64| {
+            out.push_str(&format!("{name}{{backend=\"{backend}\"}} {value}\n"));
+        };
+
+        labeled(
+            &mut out,
+            "hre_cluster_backend_requests_total",
+            "proxied attempts per backend (live and hedged)",
+            "counter",
+        );
+        for (name, m) in &self.backends {
+            series(
+                &mut out,
+                "hre_cluster_backend_requests_total",
+                name,
+                m.requests.load(Ordering::Relaxed),
+            );
+        }
+        labeled(
+            &mut out,
+            "hre_cluster_backend_errors_total",
+            "transport-level failures per backend",
+            "counter",
+        );
+        for (name, m) in &self.backends {
+            series(
+                &mut out,
+                "hre_cluster_backend_errors_total",
+                name,
+                m.errors.load(Ordering::Relaxed),
+            );
+        }
+        labeled(
+            &mut out,
+            "hre_cluster_backend_busy_total",
+            "503-busy answers per backend",
+            "counter",
+        );
+        for (name, m) in &self.backends {
+            series(
+                &mut out,
+                "hre_cluster_backend_busy_total",
+                name,
+                m.busy.load(Ordering::Relaxed),
+            );
+        }
+        labeled(
+            &mut out,
+            "hre_cluster_backend_hedges_total",
+            "hedged duplicates fired because this backend stalled",
+            "counter",
+        );
+        for (name, m) in &self.backends {
+            series(
+                &mut out,
+                "hre_cluster_backend_hedges_total",
+                name,
+                m.hedges.load(Ordering::Relaxed),
+            );
+        }
+        labeled(
+            &mut out,
+            "hre_cluster_backend_failovers_total",
+            "requests rerouted away from this backend",
+            "counter",
+        );
+        for (name, m) in &self.backends {
+            series(
+                &mut out,
+                "hre_cluster_backend_failovers_total",
+                name,
+                m.failovers.load(Ordering::Relaxed),
+            );
+        }
+
+        labeled(
+            &mut out,
+            "hre_cluster_breaker_state",
+            "circuit breaker state (0=closed, 1=open, 2=half-open)",
+            "gauge",
+        );
+        for ((name, _), b) in self.backends.iter().zip(breakers) {
+            series(&mut out, "hre_cluster_breaker_state", name, b.peek_state().as_gauge());
+        }
+        labeled(
+            &mut out,
+            "hre_cluster_breaker_opens_total",
+            "times the breaker tripped open",
+            "counter",
+        );
+        for ((name, _), b) in self.backends.iter().zip(breakers) {
+            series(&mut out, "hre_cluster_breaker_opens_total", name, b.opened_total());
+        }
+        labeled(
+            &mut out,
+            "hre_cluster_breaker_half_opens_total",
+            "half-open probes admitted",
+            "counter",
+        );
+        for ((name, _), b) in self.backends.iter().zip(breakers) {
+            series(&mut out, "hre_cluster_breaker_half_opens_total", name, b.half_opened_total());
+        }
+        labeled(
+            &mut out,
+            "hre_cluster_breaker_closes_total",
+            "times the breaker recovered to closed",
+            "counter",
+        );
+        for ((name, _), b) in self.backends.iter().zip(breakers) {
+            series(&mut out, "hre_cluster_breaker_closes_total", name, b.closed_total());
+        }
+
+        render_seconds_histogram(
+            &mut out,
+            "hre_cluster_request_latency_seconds",
+            "end-to-end latency of client-facing requests",
+            None,
+            &self.request_latency.snapshot(),
+        );
+        for (name, m) in &self.backends {
+            render_seconds_histogram(
+                &mut out,
+                "hre_cluster_backend_latency_seconds",
+                "latency of proxied attempts per backend",
+                Some(name),
+                &m.latency.snapshot(),
+            );
+        }
+        out
+    }
+}
+
+/// Renders one histogram in base seconds from a log₂-µs snapshot. The
+/// `# HELP`/`# TYPE` preamble is emitted once per family — repeated
+/// calls for further labeled series of the same name skip it.
+fn render_seconds_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    backend: Option<&str>,
+    snap: &HistSnapshot,
+) {
+    if !out.contains(&format!("# TYPE {name} ")) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    }
+    let label = |le: &str| match backend {
+        Some(b) => format!("{{backend=\"{b}\",le=\"{le}\"}}"),
+        None => format!("{{le=\"{le}\"}}"),
+    };
+    let suffix = |kind: &str| match backend {
+        Some(b) => format!("{name}_{kind}{{backend=\"{b}\"}}"),
+        None => format!("{name}_{kind}"),
+    };
+    let mut cumulative = 0u64;
+    for (i, &b) in snap.buckets.iter().enumerate() {
+        cumulative += b;
+        if i + 1 < LOG2_BUCKETS {
+            let le_seconds = (1u64 << (i + 1)) as f64 / 1e6;
+            out.push_str(&format!(
+                "{name}_bucket{} {cumulative}\n",
+                label(&le_seconds.to_string())
+            ));
+        }
+    }
+    out.push_str(&format!("{name}_bucket{} {}\n", label("+Inf"), snap.count));
+    out.push_str(&format!("{} {}\n", suffix("sum"), snap.sum_us as f64 / 1e6));
+    out.push_str(&format!("{} {}\n", suffix("count"), snap.count));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn names() -> Vec<String> {
+        vec!["127.0.0.1:1001".into(), "127.0.0.1:1002".into()]
+    }
+
+    #[test]
+    fn hedge_threshold_tracks_p95_with_a_floor() {
+        let m = ClusterMetrics::new(&names());
+        let floor = Duration::from_millis(5);
+        // Empty histogram: the floor wins.
+        assert_eq!(m.hedge_threshold(0, floor), floor);
+        // 100 fast samples (~100 µs): p95 upper bound 128 µs, 2×256 µs
+        // is still under the floor.
+        for _ in 0..100 {
+            m.backend(0).latency.record(Duration::from_micros(100));
+        }
+        assert_eq!(m.hedge_threshold(0, floor), floor);
+        // Shift the tail: 100 more at ~20 ms. p95 upper bound 32768 µs,
+        // threshold 2× that.
+        for _ in 0..100 {
+            m.backend(0).latency.record(Duration::from_millis(20));
+        }
+        let t = m.hedge_threshold(0, floor);
+        assert_eq!(t, Duration::from_micros(2 * 32_768), "{t:?}");
+        // Backend 1 is untouched.
+        assert_eq!(m.hedge_threshold(1, floor), floor);
+    }
+
+    #[test]
+    fn renders_prometheus_with_conventions_and_labels() {
+        let m = ClusterMetrics::new(&names());
+        let breakers: Vec<Breaker> = (0..2)
+            .map(|_| Breaker::new(3, Duration::from_millis(10), Duration::from_millis(100)))
+            .collect();
+        ClusterMetrics::inc(&m.requests);
+        ClusterMetrics::inc(&m.backend(0).requests);
+        ClusterMetrics::inc(&m.backend(1).hedges);
+        m.request_latency.record(Duration::from_micros(300));
+        m.backend(0).latency.record(Duration::from_micros(300));
+        breakers[1].record_failure();
+        breakers[1].record_failure();
+        breakers[1].record_failure();
+
+        let text = m.render_prometheus(&breakers);
+        assert!(text.contains("hre_cluster_requests_total 1\n"), "{text}");
+        assert!(
+            text.contains("hre_cluster_backend_requests_total{backend=\"127.0.0.1:1001\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hre_cluster_backend_hedges_total{backend=\"127.0.0.1:1002\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hre_cluster_breaker_state{backend=\"127.0.0.1:1001\"} 0\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hre_cluster_breaker_state{backend=\"127.0.0.1:1002\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("hre_cluster_breaker_opens_total{backend=\"127.0.0.1:1002\"} 1\n"),
+            "{text}"
+        );
+        // Histogram in base seconds: 300 µs lands in le=512µs = 0.000512 s.
+        assert!(
+            text.contains("hre_cluster_request_latency_seconds_bucket{le=\"0.000512\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("hre_cluster_request_latency_seconds_sum 0.0003\n"), "{text}");
+        assert!(text.contains("hre_cluster_request_latency_seconds_count 1\n"), "{text}");
+        assert!(
+            text.contains(
+                "hre_cluster_backend_latency_seconds_bucket{backend=\"127.0.0.1:1001\",le=\"+Inf\"} 1"
+            ),
+            "{text}"
+        );
+        // Every exported family obeys the conventions: hre_ prefix and
+        // _total/_seconds/state suffixes only.
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let name = line.split_whitespace().nth(2).unwrap();
+            assert!(name.starts_with("hre_cluster_"), "{name}");
+            assert!(
+                name.ends_with("_total") || name.ends_with("_seconds") || name.ends_with("_state"),
+                "unconventional metric name {name}"
+            );
+        }
+    }
+}

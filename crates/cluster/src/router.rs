@@ -1,0 +1,593 @@
+//! The front-door router: one listener, N backends, rotation-affinity
+//! routing, breaker-gated failover, and hedged retries.
+//!
+//! Request path for `POST /elect`:
+//!
+//! ```text
+//!   client ──▶ router: parse & validate (400 on garbage, never forwarded)
+//!                │ shard key = hash(canonical rotation of the labels)
+//!                │ candidates = ring walk from the key, open breakers
+//!                │              skipped (fail-open if all are open)
+//!                ▼
+//!          attempt thread ──POST /elect──▶ backend (pooled keep-alive)
+//!                │
+//!                ├─ response 200/422 ─▶ pass through (+ x-backend header)
+//!                ├─ response 503 ─▶ failover to next candidate; the 503
+//!                │                  (with its Retry-After) is returned
+//!                │                  only if every candidate is busy
+//!                ├─ transport error ─▶ breaker ticks, failover
+//!                └─ silence past the hedge threshold ─▶ fire a duplicate
+//!                   at the next candidate, first answer wins
+//! ```
+//!
+//! Hedging is safe here in a way it is not for general RPC: elections
+//! are deterministic (round-robin scheduler, canonical-rotation cache)
+//! and idempotent, so the two raced responses are byte-identical — the
+//! client cannot observe which one won. The hedge threshold adapts per
+//! backend: `max(hedge_min, 2 × observed p95)` via
+//! [`ClusterMetrics::hedge_threshold`].
+//!
+//! A background prober hits every backend's `GET /healthz` each
+//! `health_interval`; probe outcomes feed the same breakers as live
+//! traffic, and open breakers pace their probes on the shared
+//! capped-backoff schedule ([`hre_runtime::Backoff`]).
+
+use crate::hash::{shard_key, HashRing};
+use crate::health::Breaker;
+use crate::metrics::ClusterMetrics;
+use crate::pool::BackendPool;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use hre_svc::http::{HttpConn, ReadOutcome, Request, Response};
+use hre_svc::json::{self, Json};
+use hre_svc::{error_json, Client, ClientResponse, ElectRequest};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Router configuration (defaults match `hre cluster-route`'s flags).
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Listen address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Backend `host:port` addresses (must be non-empty).
+    pub backends: Vec<String>,
+    /// Virtual nodes per backend on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Connect/read/write timeout for one proxied attempt.
+    pub timeout: Duration,
+    /// Client-facing budget per request; `504` past it.
+    pub deadline: Duration,
+    /// Floor for the adaptive hedge threshold.
+    pub hedge_min: Duration,
+    /// Consecutive transport failures that trip a breaker open.
+    pub failure_threshold: u32,
+    /// First open-state probe delay (doubles up to `probe_cap`).
+    pub probe_start: Duration,
+    /// Probe-delay cap.
+    pub probe_cap: Duration,
+    /// How often the background prober sweeps the backends.
+    pub health_interval: Duration,
+    /// Idle keep-alive connections retained per backend.
+    pub pool_cap: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            addr: "127.0.0.1:0".into(),
+            backends: Vec::new(),
+            vnodes: crate::hash::DEFAULT_VNODES,
+            timeout: Duration::from_secs(2),
+            deadline: Duration::from_secs(5),
+            hedge_min: Duration::from_millis(30),
+            failure_threshold: 3,
+            probe_start: Duration::from_millis(50),
+            probe_cap: Duration::from_secs(2),
+            health_interval: Duration::from_millis(100),
+            pool_cap: crate::pool::DEFAULT_POOL_CAP,
+        }
+    }
+}
+
+/// How often blocked loops wake up to check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Everything the connection threads and the prober share.
+struct Shared {
+    cfg: ClusterConfig,
+    ring: HashRing,
+    pools: Vec<BackendPool>,
+    breakers: Vec<Breaker>,
+    metrics: ClusterMetrics,
+    shutdown: AtomicBool,
+}
+
+/// A running router. Call [`RouterHandle::shutdown`] to drain.
+pub struct RouterHandle {
+    /// The address actually bound (resolves port 0).
+    pub addr: SocketAddr,
+    shared: Arc<Shared>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: JoinHandle<u64>,
+    prober: JoinHandle<()>,
+}
+
+/// Final per-backend counters reported when the router drains.
+#[derive(Clone, Debug)]
+pub struct BackendSummary {
+    /// Backend address.
+    pub addr: String,
+    /// Proxied attempts (live + hedged).
+    pub requests: u64,
+    /// Transport-level failures.
+    pub errors: u64,
+    /// 503-busy answers.
+    pub busy: u64,
+    /// Hedges fired because this backend stalled.
+    pub hedges: u64,
+    /// Requests rerouted away from this backend.
+    pub failovers: u64,
+    /// Breaker transitions over the router's lifetime.
+    pub breaker_opens: u64,
+    /// Half-open probes admitted.
+    pub breaker_half_opens: u64,
+    /// Recoveries to closed.
+    pub breaker_closes: u64,
+}
+
+/// Final counters reported when the router drains.
+#[derive(Clone, Debug)]
+pub struct RouterSummary {
+    /// Client-facing requests accepted.
+    pub requests: u64,
+    /// Client-facing requests that exhausted every backend.
+    pub request_errors: u64,
+    /// Hedged duplicates whose response won the race.
+    pub hedge_wins: u64,
+    /// Per-backend counters, in configuration order.
+    pub backends: Vec<BackendSummary>,
+}
+
+impl std::fmt::Display for RouterSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "routed {} requests | exhausted {} | hedge wins {}",
+            self.requests, self.request_errors, self.hedge_wins
+        )?;
+        for b in &self.backends {
+            writeln!(
+                f,
+                "  {}: {} attempts, {} errors, {} busy, {} hedges, {} failovers, \
+                 breaker {}o/{}h/{}c",
+                b.addr,
+                b.requests,
+                b.errors,
+                b.busy,
+                b.hedges,
+                b.failovers,
+                b.breaker_opens,
+                b.breaker_half_opens,
+                b.breaker_closes,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Binds the listener and spins up the acceptor and the health prober.
+pub fn start(cfg: ClusterConfig) -> std::io::Result<RouterHandle> {
+    if cfg.backends.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "cluster needs at least one backend",
+        ));
+    }
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Arc::new(Shared {
+        ring: HashRing::new(&cfg.backends, cfg.vnodes),
+        pools: cfg
+            .backends
+            .iter()
+            .map(|b| BackendPool::new(b, cfg.timeout, cfg.pool_cap))
+            .collect(),
+        breakers: cfg
+            .backends
+            .iter()
+            .map(|_| Breaker::new(cfg.failure_threshold, cfg.probe_start, cfg.probe_cap))
+            .collect(),
+        metrics: ClusterMetrics::new(&cfg.backends),
+        cfg,
+        shutdown: AtomicBool::new(false),
+    });
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || acceptor_loop(listener, &shared, &shutdown))
+    };
+    let prober = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || prober_loop(&shared))
+    };
+
+    Ok(RouterHandle { addr, shared, shutdown, acceptor, prober })
+}
+
+impl RouterHandle {
+    /// The flag that triggers a graceful drain — hand it to
+    /// `signal_hook::flag::register` so SIGTERM/SIGINT stop the router.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Current metrics, rendered as the `/metrics` endpoint would.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.render_prometheus(&self.shared.breakers)
+    }
+
+    /// The backend address that owns a label sequence (ignoring health)
+    /// — the same placement the request path uses.
+    pub fn primary_backend(&self, labels: &[u64]) -> &str {
+        let i = self.shared.ring.primary(shard_key(labels)).expect("non-empty ring");
+        &self.shared.cfg.backends[i]
+    }
+
+    /// Requests a drain and joins the acceptor (which joins every
+    /// connection thread) and the prober.
+    pub fn shutdown(self) -> RouterSummary {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.acceptor.join().expect("acceptor panicked");
+        self.prober.join().expect("prober panicked");
+        let m = &self.shared.metrics;
+        let backends = self
+            .shared
+            .cfg
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                let bm = m.backend(i);
+                let br = &self.shared.breakers[i];
+                BackendSummary {
+                    addr: addr.clone(),
+                    requests: bm.requests.load(Ordering::Relaxed),
+                    errors: bm.errors.load(Ordering::Relaxed),
+                    busy: bm.busy.load(Ordering::Relaxed),
+                    hedges: bm.hedges.load(Ordering::Relaxed),
+                    failovers: bm.failovers.load(Ordering::Relaxed),
+                    breaker_opens: br.opened_total(),
+                    breaker_half_opens: br.half_opened_total(),
+                    breaker_closes: br.closed_total(),
+                }
+            })
+            .collect();
+        RouterSummary {
+            requests: m.requests.load(Ordering::Relaxed),
+            request_errors: m.request_errors.load(Ordering::Relaxed),
+            hedge_wins: m.hedge_wins.load(Ordering::Relaxed),
+            backends,
+        }
+    }
+
+    /// Blocks until `flag` (typically wired to SIGTERM/SIGINT) flips,
+    /// then drains. Used by `hre cluster-route`.
+    pub fn run_until(self, flag: &AtomicBool) -> RouterSummary {
+        while !flag.load(Ordering::Relaxed) {
+            std::thread::sleep(POLL);
+        }
+        self.shutdown()
+    }
+}
+
+/// Accepts connections until shutdown; returns the count accepted.
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>, shutdown: &AtomicBool) -> u64 {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut accepted = 0u64;
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                accepted += 1;
+                let shared = Arc::clone(shared);
+                conns.push(std::thread::spawn(move || connection_loop(stream, &shared)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+        if conns.len() > 32 {
+            let (done, live): (Vec<_>, Vec<_>) = conns.into_iter().partition(|h| h.is_finished());
+            for h in done {
+                let _ = h.join();
+            }
+            conns = live;
+        }
+    }
+    shared.shutdown.store(true, Ordering::SeqCst);
+    for h in conns {
+        let _ = h.join();
+    }
+    accepted
+}
+
+/// Serves one client connection: keep-alive request loop until the peer
+/// closes, an error, or shutdown.
+fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(mut conn) = HttpConn::new(stream, POLL) else { return };
+    loop {
+        match conn.read_request(Instant::now() + Duration::from_secs(5)) {
+            ReadOutcome::IdlePoll => {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            ReadOutcome::Closed => return,
+            ReadOutcome::Malformed(why) => {
+                let _ = Response::json(400, error_json(&why)).write_to(conn.stream(), true);
+                return;
+            }
+            ReadOutcome::Request(req) => {
+                let close = req.wants_close() || shared.shutdown.load(Ordering::Relaxed);
+                let resp = route(&req, shared);
+                if resp.write_to(conn.stream(), close).is_err() || close {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches one parsed request.
+fn route(req: &Request, shared: &Arc<Shared>) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/elect") => handle_elect(&req.body, shared),
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/metrics") => {
+            Response::text(200, shared.metrics.render_prometheus(&shared.breakers))
+        }
+        ("GET", "/cluster") => Response::json(200, cluster_doc(shared).to_string()),
+        ("POST", _) | ("GET", _) => Response::json(404, error_json("no such endpoint")),
+        _ => Response::json(405, error_json("method not allowed")),
+    }
+}
+
+/// The `GET /cluster` topology document.
+fn cluster_doc(shared: &Shared) -> Json {
+    let backends: Vec<Json> = shared
+        .cfg
+        .backends
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            let bm = shared.metrics.backend(i);
+            let br = &shared.breakers[i];
+            json::obj(vec![
+                ("addr", Json::Str(addr.clone())),
+                ("state", Json::Str(br.peek_state().as_str().into())),
+                ("requests", Json::Num(bm.requests.load(Ordering::Relaxed) as i128)),
+                ("errors", Json::Num(bm.errors.load(Ordering::Relaxed) as i128)),
+                ("busy", Json::Num(bm.busy.load(Ordering::Relaxed) as i128)),
+                ("hedges", Json::Num(bm.hedges.load(Ordering::Relaxed) as i128)),
+                ("failovers", Json::Num(bm.failovers.load(Ordering::Relaxed) as i128)),
+                ("breaker_opens", Json::Num(br.opened_total() as i128)),
+            ])
+        })
+        .collect();
+    json::obj(vec![
+        ("vnodes", Json::Num(shared.ring.vnodes() as i128)),
+        ("backends", Json::Arr(backends)),
+    ])
+}
+
+/// One proxied attempt's outcome: backend index, transport result, and
+/// the attempt's wall-clock latency.
+type Attempt = (usize, std::io::Result<ClientResponse>, Duration);
+
+/// Fires one attempt on its own thread; the result lands in `tx` (the
+/// receiver may be gone if another attempt already won — that's fine).
+fn spawn_attempt(shared: Arc<Shared>, idx: usize, body: Arc<Vec<u8>>, tx: Sender<Attempt>) {
+    ClusterMetrics::inc(&shared.metrics.backend(idx).requests);
+    std::thread::spawn(move || {
+        let t0 = Instant::now();
+        let result = (|| {
+            let mut client = shared.pools[idx].get()?;
+            let resp = client.request("POST", "/elect", Some(&body))?;
+            shared.pools[idx].put(client);
+            Ok(resp)
+        })();
+        let _ = tx.send((idx, result, t0.elapsed()));
+    });
+}
+
+/// The `POST /elect` front door: validate, pick candidates, forward
+/// with failover and hedging.
+fn handle_elect(body: &[u8], shared: &Arc<Shared>) -> Response {
+    let started = Instant::now();
+    ClusterMetrics::inc(&shared.metrics.requests);
+    // Validate locally so garbage is never forwarded; the error body is
+    // byte-identical to what a backend would have answered.
+    let request = match ElectRequest::from_json(body) {
+        Ok(r) => r,
+        Err(why) => return Response::json(400, error_json(&why)),
+    };
+    let resp = forward(shared, &request.labels, body, started);
+    shared.metrics.request_latency.record(started.elapsed());
+    resp
+}
+
+/// Candidate selection + the failover/hedge race.
+fn forward(shared: &Arc<Shared>, labels: &[u64], body: &[u8], started: Instant) -> Response {
+    let order = shared.ring.preference_order(shard_key(labels));
+    // Skip open breakers; if that leaves nobody, fail open and try the
+    // full ring anyway (a probe may be overdue, and refusing outright
+    // guarantees failure while trying merely risks it).
+    let mut candidates: Vec<usize> =
+        order.iter().copied().filter(|&i| shared.breakers[i].allows_request()).collect();
+    if candidates.is_empty() {
+        candidates = order.clone();
+    }
+    for &skipped in order.iter().filter(|i| !candidates.contains(i)) {
+        ClusterMetrics::inc(&shared.metrics.backend(skipped).failovers);
+    }
+
+    let deadline = started + shared.cfg.deadline;
+    let body = Arc::new(body.to_vec());
+    let (tx, rx): (Sender<Attempt>, Receiver<Attempt>) = bounded(candidates.len().max(1));
+
+    let mut next = 0usize; // next candidate to launch
+    let mut in_flight = 0usize;
+    let mut current = candidates[0]; // most recently launched (hedge target)
+    let mut hedged: Vec<usize> = Vec::new(); // launched as hedges
+    let mut last_answer: Option<Response> = None; // best non-2xx seen
+
+    spawn_attempt(Arc::clone(shared), candidates[next], Arc::clone(&body), tx.clone());
+    next += 1;
+    in_flight += 1;
+
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            ClusterMetrics::inc(&shared.metrics.request_errors);
+            return Response::json(504, error_json("cluster deadline expired"));
+        }
+        let remaining = deadline.saturating_duration_since(now);
+        // While exactly one attempt is live and another candidate is
+        // available, silence past the adaptive threshold triggers a
+        // hedge; otherwise just wait out the deadline.
+        let wait = if in_flight == 1 && next < candidates.len() {
+            shared.metrics.hedge_threshold(current, shared.cfg.hedge_min).min(remaining)
+        } else {
+            remaining
+        };
+        match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
+            Ok((idx, Ok(resp), elapsed)) => {
+                in_flight -= 1;
+                shared.metrics.backend(idx).latency.record(elapsed);
+                match resp.status {
+                    503 => {
+                        // Alive but saturated: not a breaker event.
+                        shared.breakers[idx].record_success();
+                        ClusterMetrics::inc(&shared.metrics.backend(idx).busy);
+                        last_answer = Some(pass_through(&resp, &shared.cfg.backends[idx]));
+                    }
+                    status => {
+                        shared.breakers[idx].record_success();
+                        if status >= 500 {
+                            // Unexpected backend failure: surface it only
+                            // if nobody else can answer.
+                            ClusterMetrics::inc(&shared.metrics.backend(idx).errors);
+                            last_answer = Some(pass_through(&resp, &shared.cfg.backends[idx]));
+                        } else {
+                            // 200 (elected) or 422 (spec violated): a
+                            // definitive answer — first one wins.
+                            if hedged.contains(&idx) {
+                                ClusterMetrics::inc(&shared.metrics.hedge_wins);
+                            }
+                            return pass_through(&resp, &shared.cfg.backends[idx]);
+                        }
+                    }
+                }
+            }
+            Ok((idx, Err(_), _)) => {
+                in_flight -= 1;
+                shared.breakers[idx].record_failure();
+                shared.pools[idx].clear();
+                ClusterMetrics::inc(&shared.metrics.backend(idx).errors);
+                ClusterMetrics::inc(&shared.metrics.backend(idx).failovers);
+            }
+            Err(_) => {
+                // recv timeout: either the hedge threshold or just a
+                // deadline-bounded wait. Hedge if that's what tripped.
+                if in_flight == 1 && next < candidates.len() {
+                    ClusterMetrics::inc(&shared.metrics.backend(current).hedges);
+                    hedged.push(candidates[next]);
+                    current = candidates[next];
+                    spawn_attempt(
+                        Arc::clone(shared),
+                        candidates[next],
+                        Arc::clone(&body),
+                        tx.clone(),
+                    );
+                    next += 1;
+                    in_flight += 1;
+                }
+                continue;
+            }
+        }
+        // An attempt resolved without a definitive answer: launch the
+        // next candidate, or give up when none remain and none are live.
+        if in_flight == 0 {
+            if next < candidates.len() {
+                current = candidates[next];
+                spawn_attempt(Arc::clone(shared), candidates[next], Arc::clone(&body), tx.clone());
+                next += 1;
+                in_flight += 1;
+            } else {
+                return match last_answer {
+                    // Every backend answered busy (or 5xx): relay the
+                    // last answer so the client sees the Retry-After.
+                    Some(resp) => resp,
+                    None => {
+                        ClusterMetrics::inc(&shared.metrics.request_errors);
+                        Response::json(502, error_json("no backend reachable"))
+                    }
+                };
+            }
+        }
+    }
+}
+
+/// Relays a backend response to the client, tagging which backend
+/// answered and preserving the headers clients act on.
+fn pass_through(resp: &ClientResponse, backend: &str) -> Response {
+    let mut out =
+        Response::json(resp.status, resp.body_text()).with_header("x-backend", backend.to_string());
+    for name in ["retry-after", "x-cache"] {
+        if let Some(v) = resp.header(name) {
+            out = out.with_header(name, v.to_string());
+        }
+    }
+    out
+}
+
+/// Sweeps every backend's `GET /healthz` each `health_interval`;
+/// outcomes feed the breakers (open breakers admit probes only when the
+/// capped backoff says one is due).
+fn prober_loop(shared: &Arc<Shared>) {
+    let probe_timeout = shared.cfg.timeout.min(Duration::from_millis(500));
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        for (i, addr) in shared.cfg.backends.iter().enumerate() {
+            if !shared.breakers[i].allows_request() {
+                continue; // open, next probe not due yet
+            }
+            let healthy = Client::connect(addr, probe_timeout)
+                .and_then(|mut c| c.get("/healthz"))
+                .map(|r| r.status == 200)
+                .unwrap_or(false);
+            if healthy {
+                shared.breakers[i].record_success();
+            } else {
+                shared.breakers[i].record_failure();
+                shared.pools[i].clear();
+            }
+        }
+        let mut slept = Duration::ZERO;
+        while slept < shared.cfg.health_interval {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let step = POLL.min(shared.cfg.health_interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! End-to-end cluster tests: real `hre-svc` backends on ephemeral ports
+//! behind a real router, talking over TCP.
+//!
+//! Covered here: rotation-affinity routing (all rotations of a ring are
+//! answered by one backend, byte-identically to a direct backend call),
+//! breaker-driven failover when a backend dies mid-traffic, hedged
+//! retries when a backend stalls, and the `/cluster` + `/metrics`
+//! observability surfaces.
+
+use hre_cluster::{start, ClusterConfig};
+use hre_svc::{start as start_svc, Client, ServerHandle, SvcConfig};
+use std::time::Duration;
+
+/// Spins up `n` default-ish backends; returns their handles + addrs.
+fn backends(n: usize, cfg: SvcConfig) -> (Vec<ServerHandle>, Vec<String>) {
+    let handles: Vec<ServerHandle> =
+        (0..n).map(|_| start_svc(cfg.clone()).expect("backend")).collect();
+    let addrs = handles.iter().map(|h| h.addr.to_string()).collect();
+    (handles, addrs)
+}
+
+fn client(addr: &str) -> Client {
+    Client::connect(addr, Duration::from_secs(5)).expect("connect")
+}
+
+/// A few structurally distinct rings (different canonical classes).
+fn rings() -> Vec<Vec<u64>> {
+    vec![
+        vec![1, 3, 1, 3, 2, 2, 1, 2],
+        vec![4, 4, 1, 2, 4, 1, 1, 2],
+        vec![7, 1, 2, 3, 4, 5, 6, 0],
+        vec![2, 2, 3, 2, 3, 3],
+        vec![9, 8, 9, 8, 8, 7],
+    ]
+}
+
+fn body_for(labels: &[u64]) -> String {
+    let nums: Vec<String> = labels.iter().map(u64::to_string).collect();
+    format!(r#"{{"ring":[{}],"algo":"ak"}}"#, nums.join(","))
+}
+
+#[test]
+fn routes_with_rotation_affinity_and_backend_agreement() {
+    let (handles, addrs) = backends(3, SvcConfig::default());
+    // Hedging off (huge floor): this test pins down *placement*, and a
+    // hedge fired against a slow debug build would legitimately let a
+    // non-home backend answer.
+    let router = start(ClusterConfig {
+        backends: addrs.clone(),
+        hedge_min: Duration::from_secs(10),
+        ..Default::default()
+    })
+    .expect("router");
+    let router_addr = router.addr.to_string();
+    let mut c = client(&router_addr);
+
+    for labels in rings() {
+        // Direct answer from the ring's home backend, for byte-equality.
+        let home = router.primary_backend(&labels).to_string();
+        let direct = client(&home).post_json("/elect", &body_for(&labels)).expect("direct");
+        assert_eq!(direct.status, 200, "{}", direct.body_text());
+
+        let mut answered_by = std::collections::HashSet::new();
+        for d in 0..labels.len() {
+            let mut rot = labels.clone();
+            rot.rotate_left(d);
+            let via = c.post_json("/elect", &body_for(&rot)).expect("routed");
+            assert_eq!(via.status, 200, "{}", via.body_text());
+            answered_by.insert(via.header("x-backend").expect("x-backend tag").to_string());
+            if d == 0 {
+                // Unrotated request: the router's answer is the
+                // backend's answer, byte for byte.
+                assert_eq!(via.body_text(), direct.body_text());
+            }
+        }
+        assert_eq!(
+            answered_by.into_iter().collect::<Vec<_>>(),
+            vec![home],
+            "all rotations of {labels:?} must hit the home backend"
+        );
+    }
+
+    // Observability surfaces.
+    let metrics = c.get("/metrics").expect("metrics").body_text();
+    assert!(metrics.contains("hre_cluster_requests_total"), "{metrics}");
+    assert!(metrics.contains("hre_cluster_breaker_state{backend=\""), "{metrics}");
+    let topo = c.get("/cluster").expect("cluster");
+    assert_eq!(topo.status, 200);
+    let doc = hre_cluster::Json::parse(&topo.body_text()).expect("topology json");
+    let listed = doc.get("backends").and_then(|b| b.as_arr()).expect("backends array");
+    assert_eq!(listed.len(), 3);
+    assert!(listed.iter().all(|b| b.get("state").and_then(|s| s.as_str()) == Some("closed")));
+
+    let summary = router.shutdown();
+    assert_eq!(summary.request_errors, 0, "{summary}");
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn fails_over_when_a_backend_dies_and_reports_the_breaker() {
+    let (mut handles, addrs) = backends(3, SvcConfig::default());
+    let router = start(ClusterConfig {
+        backends: addrs.clone(),
+        failure_threshold: 2,
+        probe_start: Duration::from_millis(30),
+        probe_cap: Duration::from_millis(200),
+        health_interval: Duration::from_millis(25),
+        timeout: Duration::from_millis(800),
+        hedge_min: Duration::from_secs(10), // placement must stay deterministic
+        ..Default::default()
+    })
+    .expect("router");
+    let mut c = client(&router.addr.to_string());
+
+    // Find a ring homed on backend 0, then kill backend 0.
+    let victim = addrs[0].clone();
+    let labels = (0..64u64)
+        .map(|salt| {
+            let mut l = vec![1, 3, 1, 3, 2, 2, 1, 2];
+            l[0] = salt + 1;
+            l
+        })
+        .find(|l| router.primary_backend(l) == victim)
+        .expect("some ring homes on backend 0");
+    let resp = c.post_json("/elect", &body_for(&labels)).expect("pre-kill");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("x-backend"), Some(victim.as_str()));
+    let reference = resp.body_text();
+
+    handles.remove(0).shutdown();
+
+    // Every post-kill request must still succeed — first by in-request
+    // failover (transport error → next ring position), then, once the
+    // breaker opens, by being routed around the corpse up front.
+    for _ in 0..12 {
+        let resp = c.post_json("/elect", &body_for(&labels)).expect("post-kill");
+        assert_eq!(resp.status, 200, "{}", resp.body_text());
+        let by = resp.header("x-backend").expect("tag");
+        assert_ne!(by, victim.as_str(), "dead backend cannot answer");
+        assert_eq!(resp.body_text(), reference, "failover answer must be identical");
+        std::thread::sleep(Duration::from_millis(15));
+    }
+
+    // Give the prober time to trip and then probe the open breaker.
+    std::thread::sleep(Duration::from_millis(300));
+    let metrics = c.get("/metrics").expect("metrics").body_text();
+    let line = |name: &str| {
+        metrics
+            .lines()
+            .find(|l| l.starts_with(&format!("{name}{{backend=\"{victim}\"}}")))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or_else(|| panic!("missing {name} for {victim}:\n{metrics}"))
+    };
+    assert!(line("hre_cluster_breaker_opens_total") >= 1, "{metrics}");
+    assert!(line("hre_cluster_breaker_half_opens_total") >= 1, "{metrics}");
+    // Open, or momentarily half-open if a probe is in flight — never closed.
+    assert!(line("hre_cluster_breaker_state") >= 1, "victim must not be closed:\n{metrics}");
+
+    let summary = router.shutdown();
+    assert_eq!(summary.request_errors, 0, "{summary}");
+    assert!(summary.backends[0].failovers >= 1, "{summary}");
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
+fn hedges_a_stalled_backend_and_takes_the_fast_answer() {
+    // Backend 0: single worker, no cache — easy to stall with one big
+    // election. Backend 1: healthy.
+    let slow_cfg = SvcConfig {
+        workers: 1,
+        cache_cap: 0,
+        deadline: Duration::from_secs(30),
+        ..Default::default()
+    };
+    let slow = start_svc(slow_cfg).expect("slow backend");
+    let fast = start_svc(SvcConfig::default()).expect("fast backend");
+    let addrs = vec![slow.addr.to_string(), fast.addr.to_string()];
+    let router = start(ClusterConfig {
+        backends: addrs.clone(),
+        hedge_min: Duration::from_millis(10),
+        deadline: Duration::from_secs(20),
+        timeout: Duration::from_secs(20),
+        // Keep the prober from stealing the single worker's attention.
+        health_interval: Duration::from_millis(500),
+        ..Default::default()
+    })
+    .expect("router");
+
+    // A ring homed on the slow backend.
+    let labels = (0..64u64)
+        .map(|salt| {
+            let mut l = vec![1, 3, 1, 3, 2, 2, 1, 2];
+            l[0] = salt + 1;
+            l
+        })
+        .find(|l| router.primary_backend(l) == addrs[0])
+        .expect("some ring homes on the slow backend");
+
+    // Stuff the slow backend's only worker (plus queue) with elections
+    // big enough to hold it busy well past the hedge threshold.
+    let big: Vec<String> = (0..256u64).map(|i| (i % 17).to_string()).collect();
+    let big_body = format!(r#"{{"ring":[{}],"algo":"ak"}}"#, big.join(","));
+    let stuffers: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addrs[0].clone();
+            let body = big_body.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr, Duration::from_secs(60)).expect("direct");
+                c.post_json("/elect", &body).expect("big election").status
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100)); // let the worker pick one up
+
+    // Route a cheap request homed on the stalled backend: the hedge
+    // must fire and the fast backend's answer must win.
+    let mut c = client(&router.addr.to_string());
+    let resp = c.post_json("/elect", &body_for(&labels)).expect("hedged");
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    assert_eq!(resp.header("x-backend"), Some(addrs[1].as_str()), "hedge winner");
+
+    for s in stuffers {
+        assert_eq!(s.join().expect("stuffer"), 200);
+    }
+    let summary = router.shutdown();
+    assert!(summary.backends[0].hedges >= 1, "hedge must have fired: {summary}");
+    assert!(summary.hedge_wins >= 1, "{summary}");
+    assert_eq!(summary.request_errors, 0, "{summary}");
+    slow.shutdown();
+    fast.shutdown();
+}
+
+#[test]
+fn garbage_is_rejected_locally_and_unknown_paths_404() {
+    let (handles, addrs) = backends(1, SvcConfig::default());
+    let router = start(ClusterConfig { backends: addrs, ..Default::default() }).expect("router");
+    let mut c = client(&router.addr.to_string());
+
+    let resp = c.post_json("/elect", "not json").expect("garbage");
+    assert_eq!(resp.status, 400);
+    assert_eq!(resp.header("x-backend"), None, "garbage must not be forwarded");
+
+    let resp = c.post_json("/elect", r#"{"ring":[1]}"#).expect("too short");
+    assert_eq!(resp.status, 400);
+
+    let resp = c.get("/nope").expect("404");
+    assert_eq!(resp.status, 404);
+
+    // The backend saw none of it.
+    let summary = router.shutdown();
+    assert_eq!(summary.backends[0].requests, 0, "{summary}");
+    for h in handles {
+        let s = h.shutdown();
+        assert_eq!(s.elect_ok + s.elect_failed, 0);
+    }
+}

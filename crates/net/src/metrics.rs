@@ -11,6 +11,13 @@
 //! never contend; the RTT histogram is the shared
 //! [`hre_runtime::Log2Histogram`] (power-of-two microsecond buckets),
 //! the same type the election service uses for request latency.
+//!
+//! Naming-audit note: nothing in this module is exported in Prometheus
+//! text form — these are in-process counters consumed by `exp_net` and
+//! the CLI. If any series here ever gains a `/metrics` exposition, it
+//! must follow the workspace conventions established in `hre-svc` and
+//! `hre-cluster`: `hre_net_` prefix, `_total` counter suffix, and base
+//! units with a unit suffix (`_seconds`, `_bytes`).
 
 use hre_runtime::{HistSnapshot, Log2Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -44,7 +44,8 @@ const TICK: Duration = Duration::from_micros(500);
 /// How long a reorder-stashed frame waits for a successor frame before
 /// being flushed anyway.
 const REORDER_HOLD: Duration = Duration::from_millis(2);
-/// First reconnect backoff; doubles per failure up to [`BACKOFF_CAP`].
+/// First reconnect backoff; doubles per failure up to [`BACKOFF_CAP`]
+/// (the shared [`hre_runtime::Backoff`] policy).
 const BACKOFF_START: Duration = Duration::from_millis(1);
 /// Ceiling for the reconnect backoff.
 const BACKOFF_CAP: Duration = Duration::from_millis(100);
@@ -172,7 +173,7 @@ impl<M: WireMessage> TxLoop<M> {
         let mut delayq: Vec<(Instant, Vec<u8>)> = Vec::new();
         let mut stash: Option<(Instant, Vec<u8>)> = None;
         let mut next_seq: u64 = 0;
-        let mut backoff = BACKOFF_START;
+        let mut backoff = hre_runtime::Backoff::new(BACKOFF_START, BACKOFF_CAP);
         let mut connected_once = false;
         let mut driver_done: Option<Instant> = None;
         let mut readbuf = [0u8; 4096];
@@ -246,7 +247,7 @@ impl<M: WireMessage> TxLoop<M> {
                             self.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
                         }
                         connected_once = true;
-                        backoff = BACKOFF_START;
+                        backoff.reset();
                         // Everything unacked replays on the new pipe.
                         for e in window.values_mut() {
                             e.next_due = now;
@@ -254,8 +255,7 @@ impl<M: WireMessage> TxLoop<M> {
                         conn = Some((s, FrameReader::new()));
                     }
                     Err(_) => {
-                        std::thread::sleep(backoff);
-                        backoff = (backoff * 2).min(BACKOFF_CAP);
+                        std::thread::sleep(backoff.advance());
                         continue;
                     }
                 }

@@ -18,9 +18,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod driver;
 pub mod hist;
 
+pub use backoff::Backoff;
 pub use driver::{drive_node, NodeTransport, RecvFault, SendFault, ThreadOutcome};
 pub use hist::{bucket_of, HistSnapshot, Log2Histogram, LOG2_BUCKETS};
 

@@ -6,8 +6,11 @@
 //! request index, which keeps every request distinct on the wire while
 //! mapping the whole workload onto a single canonical cache entry (the
 //! 100%-rotation workload the cache is designed for). `503` responses
-//! are retried after a short backoff, honoring `Retry-After`; they
-//! count as backpressure events, not failures.
+//! are retried after the server's own `Retry-After` hint (capped at
+//! [`RETRY_AFTER_CAP`]); they count as backpressure events, not
+//! failures, and a request that exhausts its retry budget is reported
+//! as [`LoadReport::gave_up_busy`] — distinct from [`LoadReport::errors`],
+//! which is reserved for transport faults and unexpected 5xx.
 
 use crate::api::ElectRequest;
 use crate::http::Client;
@@ -41,6 +44,9 @@ pub struct LoadReport {
     pub cache_hits: u64,
     /// 503 backpressure responses absorbed by retrying.
     pub retried_busy: u64,
+    /// Requests abandoned because every retry attempt answered 503 —
+    /// the service stayed saturated, but nothing broke.
+    pub gave_up_busy: u64,
     /// Requests abandoned on transport errors or 5xx other than 503.
     pub errors: u64,
     /// Wall-clock time of the whole run.
@@ -87,8 +93,8 @@ impl LoadReport {
             self.throughput()
         ));
         out.push_str(&format!(
-            "cache hits {} | 503 retries {} | errors {}\n",
-            self.cache_hits, self.retried_busy, self.errors
+            "cache hits {} | 503 retries {} | gave up busy {} | errors {}\n",
+            self.cache_hits, self.retried_busy, self.gave_up_busy, self.errors
         ));
         if let (Some(mean), Some(p50), Some(p95), Some(p99)) = (
             self.mean_us(),
@@ -100,6 +106,26 @@ impl LoadReport {
         }
         out
     }
+}
+
+/// 503 retry attempts per request before giving up as "busy".
+const MAX_BUSY_RETRIES: u32 = 50;
+
+/// Longest the client will honor a `Retry-After` hint for. The server
+/// speaks whole seconds (the header's unit); a closed-loop benchmark
+/// sleeping multiple seconds per retry would measure its own patience,
+/// so the hint is honored up to this cap.
+pub const RETRY_AFTER_CAP: Duration = Duration::from_millis(250);
+
+/// The wait a `Retry-After` header value asks for: the server's hint in
+/// seconds, capped at [`RETRY_AFTER_CAP`]; a short default when the
+/// header is absent or unparseable.
+fn retry_after_wait(header: Option<&str>) -> Duration {
+    header
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|secs| Duration::from_secs(secs).min(RETRY_AFTER_CAP))
+        .unwrap_or(Duration::from_millis(10))
+        .max(Duration::from_millis(1))
 }
 
 /// Drives `opts.requests` requests at `addr` and gathers the report.
@@ -120,6 +146,7 @@ pub fn run_load(addr: &str, opts: &LoadOptions) -> std::io::Result<LoadReport> {
         report.failed += part.failed;
         report.cache_hits += part.cache_hits;
         report.retried_busy += part.retried_busy;
+        report.gave_up_busy += part.gave_up_busy;
         report.errors += part.errors;
         report.latencies_us.extend(part.latencies_us);
     }
@@ -174,15 +201,16 @@ fn worker(addr: &str, opts: &LoadOptions, next: &AtomicU64) -> std::io::Result<L
                     }
                     break;
                 }
-                503 if attempts <= 50 => {
+                503 if attempts <= MAX_BUSY_RETRIES => {
                     part.retried_busy += 1;
-                    let wait_ms: u64 = resp
-                        .header("retry-after")
-                        .and_then(|v| v.parse::<u64>().ok())
-                        .map(|s| s * 1000)
-                        .unwrap_or(10)
-                        .min(20);
-                    std::thread::sleep(Duration::from_millis(wait_ms.max(1)));
+                    std::thread::sleep(retry_after_wait(resp.header("retry-after")));
+                }
+                503 => {
+                    // Retry budget exhausted while the service kept
+                    // answering an orderly "busy": backpressure, not a
+                    // failure — report it as such.
+                    part.gave_up_busy += 1;
+                    break;
                 }
                 _ => {
                     part.errors += 1;
@@ -218,6 +246,23 @@ mod tests {
         assert!(pretty.contains("req/s"), "{pretty}");
         assert!(pretty.contains("p99"), "{pretty}");
         handle.shutdown();
+    }
+
+    #[test]
+    fn retry_after_is_honored_with_a_cap() {
+        assert_eq!(retry_after_wait(Some("0")), Duration::from_millis(1));
+        assert_eq!(retry_after_wait(Some("1")), RETRY_AFTER_CAP);
+        assert_eq!(retry_after_wait(Some("60")), RETRY_AFTER_CAP);
+        assert_eq!(retry_after_wait(Some("soon")), Duration::from_millis(10));
+        assert_eq!(retry_after_wait(None), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn gave_up_busy_is_reported_apart_from_errors() {
+        let r = LoadReport { ok: 3, gave_up_busy: 2, errors: 1, ..Default::default() };
+        let pretty = r.pretty();
+        assert!(pretty.contains("gave up busy 2"), "{pretty}");
+        assert!(pretty.contains("errors 1"), "{pretty}");
     }
 
     #[test]

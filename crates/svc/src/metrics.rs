@@ -5,6 +5,18 @@
 //! the TCP transport's RTT tracking. Rendering follows the Prometheus
 //! text exposition format: `# HELP`/`# TYPE` preamble, cumulative `le`
 //! buckets for histograms, and gauges for instantaneous values.
+//!
+//! ## Naming conventions (and the deprecation window)
+//!
+//! Canonical names follow the Prometheus conventions the cluster
+//! metrics use: `hre_` prefix, counters end in `_total` (with the unit
+//! or outcome *before* the suffix, e.g. `hre_svc_requests_elect_ok_total`),
+//! and time series use `_seconds` in base units. The first cut of this
+//! module predates the audit and shipped `hre_svc_requests_total_*`
+//! (suffix in the middle) and a `_microseconds` histogram; those names
+//! are still emitted as **deprecated aliases** so existing scrapes and
+//! dashboards keep working for one release, after which the aliases go
+//! away. Every alias's `# HELP` line names its replacement.
 
 use crate::cache::CacheSnapshot;
 use hre_runtime::{Log2Histogram, LOG2_BUCKETS};
@@ -64,68 +76,106 @@ impl SvcMetrics {
         workers: usize,
         queue_cap: usize,
     ) -> String {
-        let mut out = String::with_capacity(4096);
-        let mut counter = |name: &str, help: &str, value: u64| {
+        fn counter(out: &mut String, name: &str, help: &str, value: u64) {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
-        };
-        counter(
+        }
+        // Canonical name plus its pre-audit alias, kept for one release.
+        fn aliased(out: &mut String, canonical: &str, deprecated: &str, help: &str, value: u64) {
+            counter(out, canonical, help, value);
+            counter(out, deprecated, &format!("{help} (deprecated alias of {canonical})"), value);
+        }
+        let mut out = String::with_capacity(8192);
+        aliased(
+            &mut out,
+            "hre_svc_requests_elect_ok_total",
             "hre_svc_requests_total_elect_ok",
             "POST /elect requests answered 200",
             self.elect_ok.load(Ordering::Relaxed),
         );
-        counter(
+        aliased(
+            &mut out,
+            "hre_svc_requests_elect_failed_total",
             "hre_svc_requests_total_elect_failed",
             "POST /elect requests answered 422 (spec violated)",
             self.elect_failed.load(Ordering::Relaxed),
         );
-        counter(
+        aliased(
+            &mut out,
+            "hre_svc_requests_bad_total",
             "hre_svc_requests_total_bad",
             "requests answered 400",
             self.bad_requests.load(Ordering::Relaxed),
         );
-        counter(
+        aliased(
+            &mut out,
+            "hre_svc_requests_rejected_busy_total",
             "hre_svc_requests_total_rejected_busy",
             "requests answered 503 because the job queue was full",
             self.rejected_busy.load(Ordering::Relaxed),
         );
-        counter(
+        aliased(
+            &mut out,
+            "hre_svc_requests_deadline_expired_total",
             "hre_svc_requests_total_deadline_expired",
             "requests answered 504 after their deadline passed",
             self.deadline_expired.load(Ordering::Relaxed),
         );
         counter(
+            &mut out,
             "hre_svc_jobs_dropped_stale_total",
             "jobs discarded unexecuted because their deadline had passed",
             self.jobs_dropped_stale.load(Ordering::Relaxed),
         );
-        counter(
+        aliased(
+            &mut out,
+            "hre_svc_requests_healthz_total",
             "hre_svc_requests_total_healthz",
             "GET /healthz requests",
             self.health_checks.load(Ordering::Relaxed),
         );
-        counter(
+        aliased(
+            &mut out,
+            "hre_svc_requests_metrics_total",
             "hre_svc_requests_total_metrics",
             "GET /metrics requests",
             self.metrics_scrapes.load(Ordering::Relaxed),
         );
-        counter(
+        aliased(
+            &mut out,
+            "hre_svc_requests_not_found_total",
             "hre_svc_requests_total_not_found",
             "requests answered 404 or 405",
             self.not_found.load(Ordering::Relaxed),
         );
         counter(
+            &mut out,
             "hre_svc_connections_total",
             "TCP connections accepted",
             self.connections.load(Ordering::Relaxed),
         );
-        counter("hre_svc_cache_hits_total", "result cache hits", cache.hits);
-        counter("hre_svc_cache_misses_total", "result cache misses", cache.misses);
-        counter("hre_svc_cache_inserts_total", "result cache inserts", cache.inserts);
-        counter("hre_svc_cache_evictions_total", "result cache evictions", cache.evictions);
+        counter(&mut out, "hre_svc_cache_hits_total", "result cache hits", cache.hits);
+        counter(&mut out, "hre_svc_cache_misses_total", "result cache misses", cache.misses);
+        counter(&mut out, "hre_svc_cache_inserts_total", "result cache inserts", cache.inserts);
         counter(
+            &mut out,
+            "hre_svc_cache_evictions_total",
+            "result cache evictions",
+            cache.evictions,
+        );
+        // Time in base seconds (canonical) and the pre-audit µs alias.
+        let busy_us = self.worker_busy_us.load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "# HELP hre_svc_worker_busy_seconds_total cumulative seconds workers spent \
+             executing jobs\n# TYPE hre_svc_worker_busy_seconds_total counter\n\
+             hre_svc_worker_busy_seconds_total {}\n",
+            busy_us as f64 / 1e6
+        ));
+        counter(
+            &mut out,
             "hre_svc_worker_busy_microseconds_total",
-            "cumulative microseconds workers spent executing jobs",
-            self.worker_busy_us.load(Ordering::Relaxed),
+            "cumulative microseconds workers spent executing jobs \
+             (deprecated alias of hre_svc_worker_busy_seconds_total)",
+            busy_us,
         );
 
         let mut gauge = |name: &str, help: &str, value: i64| {
@@ -145,12 +195,30 @@ impl SvcMetrics {
         gauge("hre_svc_queue_capacity", "capacity of the bounded job queue", queue_cap as i64);
         gauge("hre_svc_cache_entries", "entries resident in the result cache", cache.len as i64);
 
-        // Latency histogram, cumulative buckets, microsecond upper
-        // bounds: bucket i covers latencies < 2^(i+1) µs.
+        // Latency histogram: bucket i covers latencies < 2^(i+1) µs.
+        // Canonical series in base seconds; the original µs-bounded
+        // series stays as a deprecated alias for one release.
         let snap = self.elect_latency.snapshot();
-        let name = "hre_svc_elect_latency_microseconds";
+        let name = "hre_svc_elect_latency_seconds";
         out.push_str(&format!(
             "# HELP {name} end-to-end latency of /elect requests\n# TYPE {name} histogram\n"
+        ));
+        let mut cumulative = 0u64;
+        for (i, &b) in snap.buckets.iter().enumerate() {
+            cumulative += b;
+            if i + 1 < LOG2_BUCKETS {
+                let le = (1u64 << (i + 1)) as f64 / 1e6;
+                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+        }
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
+        out.push_str(&format!("{name}_sum {}\n", snap.sum_us as f64 / 1e6));
+        out.push_str(&format!("{name}_count {}\n", snap.count));
+
+        let name = "hre_svc_elect_latency_microseconds";
+        out.push_str(&format!(
+            "# HELP {name} end-to-end latency of /elect requests \
+             (deprecated alias of hre_svc_elect_latency_seconds)\n# TYPE {name} histogram\n"
         ));
         let mut cumulative = 0u64;
         for (i, &b) in snap.buckets.iter().enumerate() {
@@ -184,11 +252,26 @@ mod tests {
         m.observe_elect(Duration::from_micros(5_000));
         let cache = CacheSnapshot { hits: 7, misses: 2, inserts: 2, evictions: 1, len: 2 };
         let text = m.render_prometheus(&cache, 4, 256);
+        // Canonical (post-audit) names.
+        assert!(text.contains("hre_svc_requests_elect_ok_total 2\n"), "{text}");
+        assert!(text.contains("hre_svc_requests_rejected_busy_total 1\n"), "{text}");
+        assert!(text.contains("hre_svc_worker_busy_seconds_total 0\n"), "{text}");
+        // Deprecated aliases stay for one release, flagged in HELP.
         assert!(text.contains("hre_svc_requests_total_elect_ok 2\n"), "{text}");
         assert!(text.contains("hre_svc_requests_total_rejected_busy 1\n"), "{text}");
+        assert!(text.contains("deprecated alias of hre_svc_requests_elect_ok_total"), "{text}");
         assert!(text.contains("hre_svc_cache_hits_total 7\n"), "{text}");
         assert!(text.contains("hre_svc_queue_depth 3\n"), "{text}");
         assert!(text.contains("hre_svc_workers 4\n"), "{text}");
+        // Canonical histogram in base seconds…
+        assert!(text.contains("# TYPE hre_svc_elect_latency_seconds histogram"), "{text}");
+        assert!(text.contains("hre_svc_elect_latency_seconds_count 2\n"), "{text}");
+        assert!(
+            text.contains("hre_svc_elect_latency_seconds_bucket{le=\"0.000128\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("hre_svc_elect_latency_seconds_sum 0.0051\n"), "{text}");
+        // …and the µs alias, identical counts.
         assert!(text.contains("# TYPE hre_svc_elect_latency_microseconds histogram"), "{text}");
         assert!(text.contains("hre_svc_elect_latency_microseconds_count 2\n"), "{text}");
         assert!(text.contains("le=\"+Inf\"} 2\n"), "{text}");

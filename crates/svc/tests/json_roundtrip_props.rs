@@ -1,0 +1,122 @@
+//! Round-trip property tests for the wire codec — the single source of
+//! truth shared (by re-export) between `hre-svc` and `hre-cluster`.
+//! These pin the properties that sharing is supposed to guarantee: a
+//! request the router serializes is exactly the request a backend
+//! parses, for *arbitrary* label sequences, and the JSON printer/parser
+//! pair is a bijection on the API's value space.
+//!
+//! The vendored proptest has no combinator for recursive strategies, so
+//! arbitrary `Json` trees are generated from a `(seed, budget)` pair
+//! fed through a deterministic splitmix-style builder: same inputs,
+//! same tree — which is all a property test needs.
+
+use hre_svc::{AlgoId, ElectRequest, Json};
+use proptest::prelude::*;
+
+const ALGOS: [AlgoId; 6] =
+    [AlgoId::Ak, AlgoId::AkRef, AlgoId::Bk, AlgoId::Cr, AlgoId::Peterson, AlgoId::OracleN];
+
+/// Arbitrary valid label sequences: full `u64` range, lengths 2..=40.
+fn arb_labels() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 2..41)
+}
+
+/// Splitmix64: a tiny deterministic stream of u64s from one seed.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Strings chosen to exercise every escape path in the writer: quotes,
+/// backslashes, the named control escapes, raw sub-0x20 code points
+/// (forced through `\uXXXX`), slashes, and multi-byte UTF-8.
+fn arb_string(rng: &mut Rng) -> String {
+    const ALPHABET: [char; 16] = [
+        'a', 'Z', '0', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{b}', '\u{1f}', ' ', 'é', 'λ',
+        '{',
+    ];
+    let len = (rng.next() % 13) as usize;
+    (0..len).map(|_| ALPHABET[(rng.next() % ALPHABET.len() as u64) as usize]).collect()
+}
+
+/// Builds one arbitrary `Json` value. `budget` bounds total node count,
+/// `depth` bounds nesting; leaves cover null/bool/full-range ints (both
+/// signs) and escape-heavy strings.
+fn build_json(rng: &mut Rng, budget: &mut usize, depth: u32) -> Json {
+    let containers_allowed = depth < 4 && *budget > 0;
+    let pick = rng.next() % if containers_allowed { 7 } else { 5 };
+    *budget = budget.saturating_sub(1);
+    match pick {
+        0 => Json::Null,
+        1 => Json::Bool(rng.next() & 1 == 0),
+        2 => Json::Num(rng.next() as i64 as i128), // negative half included
+        3 => Json::Num(rng.next() as i128),        // full u64 range, as labels use
+        4 => Json::Str(arb_string(rng)),
+        5 => {
+            let n = (rng.next() % 5) as usize;
+            Json::Arr((0..n).map(|_| build_json(rng, budget, depth + 1)).collect())
+        }
+        _ => {
+            let n = (rng.next() % 5) as usize;
+            Json::Obj(
+                (0..n).map(|_| (arb_string(rng), build_json(rng, budget, depth + 1))).collect(),
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `ElectRequest` → JSON body → `ElectRequest` is the identity for
+    /// every valid request, over arbitrary labels, algorithms, and
+    /// explicit or defaulted k.
+    #[test]
+    fn elect_request_round_trips(
+        labels in arb_labels(),
+        algo_ix in 0usize..ALGOS.len(),
+        k in (any::<bool>(), 1usize..64).prop_map(|(some, k)| if some { Some(k) } else { None }),
+    ) {
+        let original = ElectRequest::new(labels, ALGOS[algo_ix], k)
+            .expect("valid by construction");
+        let body = original.to_json().to_string();
+        let parsed = ElectRequest::from_json(body.as_bytes()).expect("own output must parse");
+        prop_assert_eq!(&parsed, &original, "round trip changed the request: {}", body);
+        // And serialization is byte-stable: the comparability contract.
+        prop_assert_eq!(parsed.to_json().to_string(), body);
+    }
+
+    /// The JSON printer/parser pair round-trips every value in the API's
+    /// grammar, including strings with quotes, backslashes, control
+    /// characters, and the full integer range the labels use.
+    #[test]
+    fn json_value_round_trips(seed in any::<u64>(), budget in 1usize..48) {
+        let mut budget = budget;
+        let value = build_json(&mut Rng(seed), &mut budget, 0);
+        let text = value.to_string();
+        let reparsed = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("own output must parse: {e} in {text}"));
+        prop_assert_eq!(&reparsed, &value, "round trip changed the value: {}", text);
+        prop_assert_eq!(reparsed.to_string(), text, "printing must be stable");
+    }
+
+    /// Requests with defaulted algo/k parse to the same request as their
+    /// fully-explicit serialization — clients may omit, the wire answer
+    /// may not drift.
+    #[test]
+    fn omitted_fields_default_consistently(labels in arb_labels()) {
+        let nums: Vec<String> = labels.iter().map(u64::to_string).collect();
+        let terse = format!(r#"{{"ring":[{}]}}"#, nums.join(","));
+        let parsed = ElectRequest::from_json(terse.as_bytes()).expect("terse parses");
+        let explicit = ElectRequest::from_json(parsed.to_json().to_string().as_bytes())
+            .expect("explicit parses");
+        prop_assert_eq!(parsed, explicit);
+    }
+}

@@ -41,6 +41,14 @@ USAGE:
   hre bench-svc [--addr A] [--requests N] [--connections C]   load-test a daemon
         [--ring L0,L1,...] [--algo A] [--k K] [--no-rotate]
         [--workers W] [--cache-cap C]      (no --addr: spins up an in-process daemon)
+  hre cluster-route --backends A1,A2,...   front a set of daemons with the router
+        [--addr A] [--vnodes V] [--hedge-min-ms H] [--failure-threshold F]
+        (defaults: 127.0.0.1:8090, 128 vnodes, hedge floor 30 ms, threshold 3;
+         rotation-affinity placement, breaker failover, drains on SIGTERM/ctrl-c)
+  hre bench-cluster [--addr A] [--requests N] [--connections C]   load-test a cluster
+        [--rings W] [--n SIZE] [--no-rotate]
+        [--nodes B] [--cache-cap C]        (no --addr: spins up B in-process
+                                            backends behind an in-process router)
 ";
 
 /// Parsed arguments: `--key value` pairs plus bare flags.
@@ -78,6 +86,8 @@ pub fn dispatch(cmd: &str, opts: &Opts) -> Result<String, String> {
         "verify" => verify_cmd(opts),
         "serve" => serve_cmd(opts),
         "bench-svc" => bench_svc_cmd(opts),
+        "cluster-route" => cluster_route_cmd(opts),
+        "bench-cluster" => bench_cluster_cmd(opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -564,6 +574,119 @@ fn bench_svc_cmd(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
+/// `hre cluster-route`: run the front-door router over a set of backend
+/// daemons until SIGTERM/SIGINT, then drain.
+fn cluster_route_cmd(opts: &Opts) -> Result<String, String> {
+    let backends: Vec<String> = opts
+        .get("backends")
+        .ok_or("--backends is required (comma-separated daemon addresses)")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let cfg = crate::cluster::ClusterConfig {
+        addr: opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:8090".into()),
+        backends,
+        vnodes: u64_opt(opts, "vnodes", 128)? as usize,
+        hedge_min: std::time::Duration::from_millis(u64_opt(opts, "hedge-min-ms", 30)?),
+        failure_threshold: u64_opt(opts, "failure-threshold", 3)? as u32,
+        ..Default::default()
+    };
+    let router =
+        crate::cluster::start(cfg.clone()).map_err(|e| format!("cannot start router: {e}"))?;
+    let flag = router.shutdown_flag();
+    for sig in [signal_hook::consts::SIGTERM, signal_hook::consts::SIGINT] {
+        signal_hook::flag::register(sig, std::sync::Arc::clone(&flag))
+            .map_err(|e| format!("cannot install signal handler: {e}"))?;
+    }
+    println!(
+        "hre-cluster routing on http://{} over {} backends — {} vnodes, hedge floor {} ms",
+        router.addr,
+        cfg.backends.len(),
+        cfg.vnodes,
+        cfg.hedge_min.as_millis()
+    );
+    println!("POST /elect | GET /healthz | GET /metrics | GET /cluster — SIGTERM or ctrl-c drains");
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    let summary = router.run_until(&flag);
+    Ok(format!("drained cleanly\n{summary}"))
+}
+
+/// `hre bench-cluster`: closed-loop load against a router — an external
+/// one (`--addr`) or an in-process cluster spun up for the measurement.
+/// The workload cycles `--rings` distinct canonical rings of size `--n`,
+/// rotating each request so the bytes differ but the cache entry does
+/// not — the placement-sensitive access pattern E20 measures.
+fn bench_cluster_cmd(opts: &Opts) -> Result<String, String> {
+    let w = u64_opt(opts, "rings", 24)? as usize;
+    let n = u64_opt(opts, "n", 64)?;
+    if w == 0 || n < 2 {
+        return Err("--rings must be >= 1 and --n >= 2".into());
+    }
+    let bases: Result<Vec<ElectRequest>, String> = (0..w)
+        .map(|j| {
+            let mut labels: Vec<u64> = (0..n).map(|i| i % 11).collect();
+            labels[0] = 100 + j as u64;
+            ElectRequest::new(labels, AlgoId::Ak, None)
+        })
+        .collect();
+    let load = crate::cluster::ClusterLoadOptions {
+        connections: u64_opt(opts, "connections", 8)? as usize,
+        requests: u64_opt(opts, "requests", 2000)?,
+        bases: bases?,
+        rotate: !opts.contains_key("no-rotate"),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} requests over {} connections ({} rings of n={}, algo ak, {})",
+        load.requests,
+        load.connections,
+        w,
+        n,
+        if load.rotate { "rotating" } else { "verbatim" }
+    );
+    let report = match opts.get("addr") {
+        Some(addr) => {
+            let _ = writeln!(out, "target: {addr}");
+            crate::cluster::run_cluster_load(addr, &load)
+        }
+        None => {
+            let nodes = u64_opt(opts, "nodes", 3)? as usize;
+            let cfg = SvcConfig {
+                cache_cap: u64_opt(opts, "cache-cap", 1024)? as usize,
+                ..SvcConfig::default()
+            };
+            let backends: Vec<ServerHandle> = (0..nodes.max(1))
+                .map(|_| crate::svc::start(cfg.clone()))
+                .collect::<std::io::Result<_>>()
+                .map_err(|e| format!("cannot start backends: {e}"))?;
+            let router = crate::cluster::start(crate::cluster::ClusterConfig {
+                backends: backends.iter().map(|b| b.addr.to_string()).collect(),
+                ..Default::default()
+            })
+            .map_err(|e| format!("cannot start router: {e}"))?;
+            let _ = writeln!(
+                out,
+                "target: in-process router on {} over {} backends (cache {} each)",
+                router.addr,
+                backends.len(),
+                cfg.cache_cap
+            );
+            let r = crate::cluster::run_cluster_load(&router.addr.to_string(), &load);
+            let summary = router.shutdown();
+            for b in backends {
+                b.shutdown();
+            }
+            let _ = write!(out, "{summary}");
+            r
+        }
+    }
+    .map_err(|e| format!("load generation failed: {e}"))?;
+    out.push_str(&report.pretty());
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -772,6 +895,8 @@ mod tests {
         assert!(out.contains("USAGE"), "{out}");
         assert!(out.contains("hre serve"), "{out}");
         assert!(out.contains("bench-svc"), "{out}");
+        assert!(out.contains("cluster-route"), "{out}");
+        assert!(out.contains("bench-cluster"), "{out}");
     }
 
     #[test]
@@ -827,5 +952,33 @@ mod tests {
     fn serve_rejects_unbindable_address() {
         let err = run_cli(&["serve", "--addr", "definitely-not-an-address"]).unwrap_err();
         assert!(err.contains("cannot start daemon"), "{err}");
+    }
+
+    #[test]
+    fn bench_cluster_runs_against_an_in_process_cluster() {
+        let out = run_cli(&[
+            "bench-cluster",
+            "--rings",
+            "3",
+            "--n",
+            "16",
+            "--requests",
+            "18",
+            "--connections",
+            "2",
+            "--nodes",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("in-process router"), "{out}");
+        assert!(out.contains("over 2 backends"), "{out}");
+        assert!(out.contains("18 ok"), "{out}");
+        assert!(out.contains("by backend:"), "{out}");
+    }
+
+    #[test]
+    fn cluster_route_requires_backends() {
+        let err = run_cli(&["cluster-route"]).unwrap_err();
+        assert!(err.contains("--backends is required"), "{err}");
     }
 }

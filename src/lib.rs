@@ -38,6 +38,7 @@
 //! | [`runtime`] | `hre-runtime` | One-thread-per-process crossbeam-channel runtime |
 //! | [`net`] | `hre-net` | TCP socket runtime: framing, fault injection, FIFO/exactly-once recovery |
 //! | [`svc`] | `hre-svc` | Election-as-a-service daemon: HTTP/1.1, worker pool, canonical-ring result cache |
+//! | [`cluster`] | `hre-cluster` | Sharded election cluster: rotation-affinity routing, breakers, hedged retries |
 //! | [`analysis`] | `hre-analysis` | Executable lower bound / impossibility proofs, figure reconstruction |
 
 #![forbid(unsafe_code)]
@@ -47,6 +48,7 @@ pub mod cli;
 
 pub use hre_analysis as analysis;
 pub use hre_baselines as baselines;
+pub use hre_cluster as cluster;
 pub use hre_core as core;
 pub use hre_net as net;
 pub use hre_ring as ring;
@@ -59,6 +61,7 @@ pub use hre_words as words;
 pub mod prelude {
     pub use hre_analysis::{demonstrate_impossibility, reconstruct_phases, Table};
     pub use hre_baselines::{BoundedN, ChangRoberts, MtAk, OracleN, Peterson};
+    pub use hre_cluster::{ClusterConfig, HashRing, RouterHandle};
     pub use hre_core::{Ak, AkReference, Bk};
     pub use hre_net::{run_tcp, FaultPolicy, NetOptions, NetReport};
     pub use hre_ring::{classify, generate, RingLabeling};
