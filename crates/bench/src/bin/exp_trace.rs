@@ -1,0 +1,11 @@
+//! Experiment binary; see `hre_bench::experiments::e21_trace`.
+//! `--quick` runs the CI-sized variant (smaller load, looser bound).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = if quick {
+        hre_bench::experiments::e21_trace::report_quick()
+    } else {
+        hre_bench::experiments::e21_trace::report()
+    };
+    print!("{report}");
+}

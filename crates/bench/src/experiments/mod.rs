@@ -20,6 +20,7 @@ pub mod e17_scale;
 pub mod e18_net;
 pub mod e19_svc;
 pub mod e20_cluster;
+pub mod e21_trace;
 
 /// Runs every experiment in order and concatenates the reports — the body
 /// of `EXPERIMENTS.md`.
@@ -72,6 +73,10 @@ pub fn all() -> Vec<Experiment> {
         (
             "E20 — cluster scaling by rotation-affinity sharding and kill transparency",
             e20_cluster::report,
+        ),
+        (
+            "E21 — end-to-end tracing: recorder overhead and the failover span tree",
+            e21_trace::report,
         ),
     ]
 }

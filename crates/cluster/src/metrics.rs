@@ -9,13 +9,18 @@
 //!
 //! The per-backend latency histograms double as the input to the
 //! **adaptive hedge threshold**: [`ClusterMetrics::hedge_threshold`]
-//! reads a backend's observed p95 (upper-bounded from the log₂ buckets)
-//! and hedges at `max(hedge_min, 2 × p95)` — a backend that is normally
-//! fast gets hedged quickly when it stalls, a backend that is normally
-//! slow is not hedged prematurely.
+//! reads a backend's observed p95 — linearly interpolated within the
+//! covering log₂ bucket ([`HistSnapshot::quantile_us`]), not rounded to
+//! a bucket edge — and hedges at `max(hedge_min, 2 × p95)`. A backend
+//! that is normally fast gets hedged quickly when it stalls, a backend
+//! that is normally slow is not hedged prematurely, and the threshold
+//! tracks the true p95 to within one bucket's interpolation error
+//! instead of quantizing to a power of two (which mis-timed hedges by
+//! up to 2×).
 
 use crate::health::Breaker;
-use hre_runtime::{HistSnapshot, Log2Histogram, LOG2_BUCKETS};
+use hre_runtime::trace::Stage;
+use hre_runtime::{render_prometheus_histogram, HistSnapshot, Log2Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -50,23 +55,6 @@ pub struct ClusterMetrics {
     pub request_latency: Log2Histogram,
 }
 
-/// Upper bound (µs) of the log₂ bucket holding quantile `q` of `snap`.
-/// Zero when the histogram is empty.
-fn quantile_upper_us(snap: &HistSnapshot, q: f64) -> u64 {
-    if snap.count == 0 {
-        return 0;
-    }
-    let rank = ((snap.count as f64) * q).ceil() as u64;
-    let mut cumulative = 0u64;
-    for (i, &b) in snap.buckets.iter().enumerate() {
-        cumulative += b;
-        if cumulative >= rank {
-            return 1u64 << (i + 1).min(63);
-        }
-    }
-    1u64 << 63
-}
-
 impl ClusterMetrics {
     /// Metrics for a fixed set of backends (configuration order; the
     /// index is the same as the [`crate::hash::HashRing`] backend index).
@@ -91,17 +79,23 @@ impl ClusterMetrics {
     }
 
     /// When to hedge a request sitting on backend `i`: twice its
-    /// observed p95 (log₂-bucket upper bound), floored at `hedge_min`
-    /// so a cold or very fast backend is not hedged on noise.
+    /// observed p95 (interpolated within the covering log₂ bucket),
+    /// floored at `hedge_min` so a cold or very fast backend is not
+    /// hedged on noise.
     pub fn hedge_threshold(&self, i: usize, hedge_min: Duration) -> Duration {
         let snap = self.backends[i].1.latency.snapshot();
-        let p95_us = quantile_upper_us(&snap, 0.95);
+        let p95_us = snap.quantile_us(0.95);
         hedge_min.max(Duration::from_micros(p95_us.saturating_mul(2)))
     }
 
     /// Renders the Prometheus text exposition. `breakers` must be the
-    /// same length and order as the backend list.
-    pub fn render_prometheus(&self, breakers: &[Breaker]) -> String {
+    /// same length and order as the backend list; `stages` is the
+    /// flight recorder's per-stage histograms.
+    pub fn render_prometheus(
+        &self,
+        breakers: &[Breaker],
+        stages: &[(Stage, HistSnapshot)],
+    ) -> String {
         assert_eq!(breakers.len(), self.backends.len());
         let mut out = String::with_capacity(8192);
 
@@ -239,7 +233,9 @@ impl ClusterMetrics {
             series(&mut out, "hre_cluster_breaker_closes_total", name, b.closed_total());
         }
 
-        render_seconds_histogram(
+        // Histograms go through the shared renderer in `hre_runtime` so
+        // the `le` edges match the service's families exactly.
+        render_prometheus_histogram(
             &mut out,
             "hre_cluster_request_latency_seconds",
             "end-to-end latency of client-facing requests",
@@ -247,53 +243,28 @@ impl ClusterMetrics {
             &self.request_latency.snapshot(),
         );
         for (name, m) in &self.backends {
-            render_seconds_histogram(
+            render_prometheus_histogram(
                 &mut out,
                 "hre_cluster_backend_latency_seconds",
                 "latency of proxied attempts per backend",
-                Some(name),
+                Some(("backend", name)),
                 &m.latency.snapshot(),
+            );
+        }
+        // Per-stage latencies from the flight recorder — same family
+        // name the service exports (one cross-daemon vocabulary,
+        // distinguished by scrape target).
+        for (stage, snap) in stages {
+            render_prometheus_histogram(
+                &mut out,
+                "hre_stage_seconds",
+                "time spent per request stage, from flight-recorder spans",
+                Some(("stage", stage.as_str())),
+                snap,
             );
         }
         out
     }
-}
-
-/// Renders one histogram in base seconds from a log₂-µs snapshot. The
-/// `# HELP`/`# TYPE` preamble is emitted once per family — repeated
-/// calls for further labeled series of the same name skip it.
-fn render_seconds_histogram(
-    out: &mut String,
-    name: &str,
-    help: &str,
-    backend: Option<&str>,
-    snap: &HistSnapshot,
-) {
-    if !out.contains(&format!("# TYPE {name} ")) {
-        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
-    }
-    let label = |le: &str| match backend {
-        Some(b) => format!("{{backend=\"{b}\",le=\"{le}\"}}"),
-        None => format!("{{le=\"{le}\"}}"),
-    };
-    let suffix = |kind: &str| match backend {
-        Some(b) => format!("{name}_{kind}{{backend=\"{b}\"}}"),
-        None => format!("{name}_{kind}"),
-    };
-    let mut cumulative = 0u64;
-    for (i, &b) in snap.buckets.iter().enumerate() {
-        cumulative += b;
-        if i + 1 < LOG2_BUCKETS {
-            let le_seconds = (1u64 << (i + 1)) as f64 / 1e6;
-            out.push_str(&format!(
-                "{name}_bucket{} {cumulative}\n",
-                label(&le_seconds.to_string())
-            ));
-        }
-    }
-    out.push_str(&format!("{name}_bucket{} {}\n", label("+Inf"), snap.count));
-    out.push_str(&format!("{} {}\n", suffix("sum"), snap.sum_us as f64 / 1e6));
-    out.push_str(&format!("{} {}\n", suffix("count"), snap.count));
 }
 
 #[cfg(test)]
@@ -311,21 +282,69 @@ mod tests {
         let floor = Duration::from_millis(5);
         // Empty histogram: the floor wins.
         assert_eq!(m.hedge_threshold(0, floor), floor);
-        // 100 fast samples (~100 µs): p95 upper bound 128 µs, 2×256 µs
-        // is still under the floor.
+        // 100 fast samples (~100 µs): p95 ≈ 124 µs interpolated, 2× is
+        // still under the floor.
         for _ in 0..100 {
             m.backend(0).latency.record(Duration::from_micros(100));
         }
         assert_eq!(m.hedge_threshold(0, floor), floor);
-        // Shift the tail: 100 more at ~20 ms. p95 upper bound 32768 µs,
-        // threshold 2× that.
+        // Shift the tail: 100 more at ~20 ms. Rank 190 of 200 falls in
+        // bucket [16384, 32768) µs as its 90th of 100 samples, so the
+        // interpolated p95 is 16384 + 16384·90/100 = 31129 µs.
         for _ in 0..100 {
             m.backend(0).latency.record(Duration::from_millis(20));
         }
         let t = m.hedge_threshold(0, floor);
-        assert_eq!(t, Duration::from_micros(2 * 32_768), "{t:?}");
+        assert_eq!(t, Duration::from_micros(2 * 31_129), "{t:?}");
         // Backend 1 is untouched.
         assert_eq!(m.hedge_threshold(1, floor), floor);
+    }
+
+    #[test]
+    fn interpolated_p95_beats_the_bucket_edge_against_exact_percentiles() {
+        // Regression for the hedge mis-timing: a log₂ histogram's p95
+        // rounded to a bucket edge is off by up to 2×; interpolation
+        // must land strictly closer to the exact sample percentile.
+        // Bimodal load: 90 fast (100 µs), 10 slow (20 ms).
+        let samples: Vec<u64> =
+            std::iter::repeat_n(100, 90).chain(std::iter::repeat_n(20_000, 10)).collect();
+        // Exact p95 via the same nearest-rank rule the bench oracle
+        // (`LoadReport::percentile_us`) uses on its sorted samples.
+        let exact = {
+            let mut sorted = samples.clone();
+            sorted.sort_unstable();
+            let rank = (0.95 * sorted.len() as f64).ceil() as usize;
+            sorted[rank.clamp(1, sorted.len()) - 1]
+        };
+        assert_eq!(exact, 20_000);
+
+        let h = Log2Histogram::default();
+        for &us in &samples {
+            h.record_us(us);
+        }
+        let snap = h.snapshot();
+        let interpolated = snap.quantile_us(0.95);
+        // The covering bucket is [16384, 32768) µs; the old estimator
+        // answered the upper edge 32768 outright.
+        let upper_edge = 32_768u64;
+        assert!(
+            (16_384..32_768).contains(&interpolated),
+            "estimate must stay inside the covering bucket: {interpolated}"
+        );
+        assert!(
+            interpolated.abs_diff(exact) < upper_edge.abs_diff(exact),
+            "interpolated {interpolated} must beat the edge {upper_edge} against exact {exact}"
+        );
+
+        // And the threshold built on it is what the router will use.
+        let m = ClusterMetrics::new(&names());
+        for &us in &samples {
+            m.backend(0).latency.record_us(us);
+        }
+        assert_eq!(
+            m.hedge_threshold(0, Duration::from_millis(5)),
+            Duration::from_micros(2 * interpolated)
+        );
     }
 
     #[test]
@@ -343,7 +362,10 @@ mod tests {
         breakers[1].record_failure();
         breakers[1].record_failure();
 
-        let text = m.render_prometheus(&breakers);
+        let stage_hist = Log2Histogram::default();
+        stage_hist.record(Duration::from_micros(40));
+        let stages = vec![(Stage::Attempt, stage_hist.snapshot())];
+        let text = m.render_prometheus(&breakers, &stages);
         assert!(text.contains("hre_cluster_requests_total 1\n"), "{text}");
         assert!(
             text.contains("hre_cluster_backend_requests_total{backend=\"127.0.0.1:1001\"} 1\n"),
@@ -378,11 +400,19 @@ mod tests {
             ),
             "{text}"
         );
+        // Per-stage histograms from the flight recorder.
+        assert!(
+            text.contains("hre_stage_seconds_bucket{stage=\"attempt\",le=\"0.000064\"} 1\n"),
+            "{text}"
+        );
         // Every exported family obeys the conventions: hre_ prefix and
-        // _total/_seconds/state suffixes only.
+        // _total/_seconds/state suffixes only. `hre_stage_seconds` is
+        // the one deliberately un-prefixed family: it is shared verbatim
+        // with the service daemon (same stage vocabulary), distinguished
+        // by scrape target rather than by name.
         for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
             let name = line.split_whitespace().nth(2).unwrap();
-            assert!(name.starts_with("hre_cluster_"), "{name}");
+            assert!(name.starts_with("hre_cluster_") || name == "hre_stage_seconds", "{name}");
             assert!(
                 name.ends_with("_total") || name.ends_with("_seconds") || name.ends_with("_state"),
                 "unconventional metric name {name}"

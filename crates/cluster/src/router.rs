@@ -37,9 +37,11 @@ use crate::health::Breaker;
 use crate::metrics::ClusterMetrics;
 use crate::pool::BackendPool;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use hre_svc::http::{HttpConn, ReadOutcome, Request, Response};
+use hre_runtime::trace::{self, FlightRecorder, SpanAttrs, SpanId, Stage, TraceId};
+use hre_runtime::DEFAULT_TRACE_CAP;
+use hre_svc::http::{HttpConn, ReadOutcome, Request, Response, DEFAULT_MAX_BODY};
 use hre_svc::json::{self, Json};
-use hre_svc::{error_json, Client, ClientResponse, ElectRequest};
+use hre_svc::{error_json, tracewire, Client, ClientResponse, ElectRequest};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -71,6 +73,13 @@ pub struct ClusterConfig {
     pub health_interval: Duration,
     /// Idle keep-alive connections retained per backend.
     pub pool_cap: usize,
+    /// Largest request body accepted (larger ⇒ `413`).
+    pub max_body: usize,
+    /// Flight-recorder capacity in spans (0 disables tracing).
+    pub trace_cap: usize,
+    /// Requests slower than this log their span tree to stderr
+    /// (`None` disables the slow-request log).
+    pub slow_threshold: Option<Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -87,6 +96,9 @@ impl Default for ClusterConfig {
             probe_cap: Duration::from_secs(2),
             health_interval: Duration::from_millis(100),
             pool_cap: crate::pool::DEFAULT_POOL_CAP,
+            max_body: DEFAULT_MAX_BODY,
+            trace_cap: DEFAULT_TRACE_CAP,
+            slow_threshold: Some(Duration::from_secs(1)),
         }
     }
 }
@@ -101,6 +113,7 @@ struct Shared {
     pools: Vec<BackendPool>,
     breakers: Vec<Breaker>,
     metrics: ClusterMetrics,
+    recorder: Arc<FlightRecorder>,
     shutdown: AtomicBool,
 }
 
@@ -202,6 +215,7 @@ pub fn start(cfg: ClusterConfig) -> std::io::Result<RouterHandle> {
             .map(|_| Breaker::new(cfg.failure_threshold, cfg.probe_start, cfg.probe_cap))
             .collect(),
         metrics: ClusterMetrics::new(&cfg.backends),
+        recorder: FlightRecorder::new(cfg.trace_cap),
         cfg,
         shutdown: AtomicBool::new(false),
     });
@@ -229,7 +243,14 @@ impl RouterHandle {
 
     /// Current metrics, rendered as the `/metrics` endpoint would.
     pub fn metrics_text(&self) -> String {
-        self.shared.metrics.render_prometheus(&self.shared.breakers)
+        self.shared
+            .metrics
+            .render_prometheus(&self.shared.breakers, &self.shared.recorder.stage_snapshots())
+    }
+
+    /// The router's flight recorder (for tests and embedding callers).
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.recorder)
     }
 
     /// The backend address that owns a label sequence (ignoring health)
@@ -323,6 +344,7 @@ fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>, shutdown: &AtomicB
 /// closes, an error, or shutdown.
 fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
     let Ok(mut conn) = HttpConn::new(stream, POLL) else { return };
+    conn.set_max_body(shared.cfg.max_body);
     loop {
         match conn.read_request(Instant::now() + Duration::from_secs(5)) {
             ReadOutcome::IdlePoll => {
@@ -334,6 +356,17 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
             ReadOutcome::Malformed(why) => {
                 let _ = Response::json(400, error_json(&why)).write_to(conn.stream(), true);
                 return;
+            }
+            ReadOutcome::TooLarge { declared, drained } => {
+                let why = format!(
+                    "request body of {declared} bytes exceeds the {} byte limit",
+                    shared.cfg.max_body
+                );
+                let close = !drained || shared.shutdown.load(Ordering::Relaxed);
+                let resp = Response::json(413, error_json(&why));
+                if resp.write_to(conn.stream(), close).is_err() || close {
+                    return;
+                }
             }
             ReadOutcome::Request(req) => {
                 let close = req.wants_close() || shared.shutdown.load(Ordering::Relaxed);
@@ -349,15 +382,61 @@ fn connection_loop(stream: TcpStream, shared: &Arc<Shared>) {
 /// Dispatches one parsed request.
 fn route(req: &Request, shared: &Arc<Shared>) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/elect") => handle_elect(&req.body, shared),
+        ("POST", "/elect") => handle_elect(req, shared),
         ("GET", "/healthz") => Response::text(200, "ok\n"),
-        ("GET", "/metrics") => {
-            Response::text(200, shared.metrics.render_prometheus(&shared.breakers))
-        }
+        ("GET", "/metrics") => Response::text(
+            200,
+            shared.metrics.render_prometheus(&shared.breakers, &shared.recorder.stage_snapshots()),
+        ),
         ("GET", "/cluster") => Response::json(200, cluster_doc(shared).to_string()),
+        ("GET", path) if path.starts_with("/trace/") => {
+            handle_trace_merged(&path["/trace/".len()..], shared)
+        }
         ("POST", _) | ("GET", _) => Response::json(404, error_json("no such endpoint")),
         _ => Response::json(405, error_json("method not allowed")),
     }
+}
+
+/// The router's trace read side. `/trace/recent` lists the router's own
+/// root spans; `/trace/<id>` additionally fans out to every backend's
+/// `/trace/<id>` and merges whatever spans they still retain, tagging
+/// each span's `src` with who recorded it — that is how one client
+/// request becomes one connected tree spanning router and backends.
+fn handle_trace_merged(tail: &str, shared: &Arc<Shared>) -> Response {
+    if tail == "recent" {
+        return hre_svc::server::handle_trace(tail, &shared.recorder);
+    }
+    let Some(trace_id) = TraceId::from_hex(tail) else {
+        return Response::json(400, error_json("trace id must be 1-16 hex digits, nonzero"));
+    };
+    let mut spans = shared.recorder.trace_spans(trace_id);
+    for s in &mut spans {
+        s.src = "cluster".into();
+    }
+    let fetch_timeout = shared.cfg.timeout.min(Duration::from_millis(500));
+    for addr in &shared.cfg.backends {
+        // Fresh connections, not the proxy pools: a trace fetch must not
+        // evict a request path's keep-alive connection mid-race.
+        let fetched = Client::connect(addr, fetch_timeout)
+            .and_then(|mut c| c.get(&format!("/trace/{}", trace_id.to_hex())));
+        if let Ok(resp) = fetched {
+            if resp.status == 200 {
+                if let Ok(remote) = tracewire::spans_from_doc(&resp.body_text()) {
+                    spans.extend(remote.into_iter().map(|mut s| {
+                        s.src = addr.clone();
+                        s
+                    }));
+                }
+            }
+        }
+    }
+    if spans.is_empty() {
+        return Response::json(
+            404,
+            error_json("no spans retained for that trace (evicted, or never seen)"),
+        );
+    }
+    Response::json(200, tracewire::trace_doc(trace_id, &spans))
 }
 
 /// The `GET /cluster` topology document.
@@ -394,47 +473,135 @@ type Attempt = (usize, std::io::Result<ClientResponse>, Duration);
 
 /// Fires one attempt on its own thread; the result lands in `tx` (the
 /// receiver may be gone if another attempt already won — that's fine).
-fn spawn_attempt(shared: Arc<Shared>, idx: usize, body: Arc<Vec<u8>>, tx: Sender<Attempt>) {
+/// The attempt's span id is minted before the thread launches and sent
+/// to the backend as `x-parent-span`, so the backend's own root span
+/// hangs under this attempt in the merged tree; the span itself is
+/// recorded when the attempt resolves — even if it resolved too late to
+/// matter.
+fn spawn_attempt(
+    shared: Arc<Shared>,
+    idx: usize,
+    body: Arc<Vec<u8>>,
+    tx: Sender<Attempt>,
+    trace_id: TraceId,
+    root: SpanId,
+) {
     ClusterMetrics::inc(&shared.metrics.backend(idx).requests);
+    let span = shared.recorder.next_span_id();
     std::thread::spawn(move || {
         let t0 = Instant::now();
         let result = (|| {
             let mut client = shared.pools[idx].get()?;
-            let resp = client.request("POST", "/elect", Some(&body))?;
+            let resp = client.request_with_headers(
+                "POST",
+                "/elect",
+                &[("x-trace-id", &trace_id.to_hex()), ("x-parent-span", &span.to_hex())],
+                Some(&body),
+            )?;
             shared.pools[idx].put(client);
             Ok(resp)
         })();
+        let err = match &result {
+            Ok(resp) => resp.status >= 500,
+            Err(_) => true,
+        };
+        shared.recorder.record_span_with_id(
+            span,
+            trace_id,
+            root,
+            Stage::Attempt,
+            t0,
+            Instant::now(),
+            SpanAttrs { a: idx as u64, err, ..Default::default() },
+        );
         let _ = tx.send((idx, result, t0.elapsed()));
     });
 }
 
-/// The `POST /elect` front door: validate, pick candidates, forward
-/// with failover and hedging.
-fn handle_elect(body: &[u8], shared: &Arc<Shared>) -> Response {
+/// The `POST /elect` front door: adopt or mint the trace, validate,
+/// pick candidates, forward with failover and hedging; the root
+/// `request` span and the slow-request log wrap the whole thing.
+fn handle_elect(req: &Request, shared: &Arc<Shared>) -> Response {
     let started = Instant::now();
     ClusterMetrics::inc(&shared.metrics.requests);
+    let rec = &shared.recorder;
+    let trace_id =
+        req.header("x-trace-id").and_then(TraceId::from_hex).unwrap_or_else(|| rec.mint_trace());
+    let remote_parent =
+        req.header("x-parent-span").and_then(SpanId::from_hex).unwrap_or(SpanId::NONE);
+    let root = rec.next_span_id();
+
     // Validate locally so garbage is never forwarded; the error body is
     // byte-identical to what a backend would have answered.
-    let request = match ElectRequest::from_json(body) {
-        Ok(r) => r,
-        Err(why) => return Response::json(400, error_json(&why)),
+    let resp = match ElectRequest::from_json(&req.body) {
+        Ok(request) => {
+            let resp = forward(shared, &request.labels, &req.body, started, trace_id, root);
+            shared.metrics.request_latency.record(started.elapsed());
+            resp
+        }
+        Err(why) => Response::json(400, error_json(&why)),
     };
-    let resp = forward(shared, &request.labels, body, started);
-    shared.metrics.request_latency.record(started.elapsed());
-    resp
+
+    let end = Instant::now();
+    rec.record_span_with_id(
+        root,
+        trace_id,
+        remote_parent,
+        Stage::Request,
+        started,
+        end,
+        SpanAttrs { err: resp.status >= 400, root: true, ..Default::default() },
+    );
+    if let Some(threshold) = shared.cfg.slow_threshold {
+        if end.duration_since(started) >= threshold {
+            eprintln!(
+                "slow request trace={} {} over {threshold:?}:\n{}",
+                trace_id.to_hex(),
+                trace::fmt_dur_us(end.duration_since(started).as_micros() as u64),
+                trace::render_tree(&rec.trace_spans(trace_id)),
+            );
+        }
+    }
+    resp.with_header("x-trace-id", trace_id.to_hex())
 }
 
 /// Candidate selection + the failover/hedge race.
-fn forward(shared: &Arc<Shared>, labels: &[u64], body: &[u8], started: Instant) -> Response {
+fn forward(
+    shared: &Arc<Shared>,
+    labels: &[u64],
+    body: &[u8],
+    started: Instant,
+    trace_id: TraceId,
+    root: SpanId,
+) -> Response {
+    let rec = &shared.recorder;
+    let hash_start = Instant::now();
     let order = shared.ring.preference_order(shard_key(labels));
+    rec.record_span(
+        trace_id,
+        root,
+        Stage::Hash,
+        hash_start,
+        Instant::now(),
+        SpanAttrs { a: order[0] as u64, b: order.len() as u64, ..Default::default() },
+    );
     // Skip open breakers; if that leaves nobody, fail open and try the
     // full ring anyway (a probe may be overdue, and refusing outright
     // guarantees failure while trying merely risks it).
+    let breaker_start = Instant::now();
     let mut candidates: Vec<usize> =
         order.iter().copied().filter(|&i| shared.breakers[i].allows_request()).collect();
     if candidates.is_empty() {
         candidates = order.clone();
     }
+    rec.record_span(
+        trace_id,
+        root,
+        Stage::BreakerCheck,
+        breaker_start,
+        Instant::now(),
+        SpanAttrs { a: candidates.len() as u64, b: order.len() as u64, ..Default::default() },
+    );
     for &skipped in order.iter().filter(|i| !candidates.contains(i)) {
         ClusterMetrics::inc(&shared.metrics.backend(skipped).failovers);
     }
@@ -449,7 +616,14 @@ fn forward(shared: &Arc<Shared>, labels: &[u64], body: &[u8], started: Instant) 
     let mut hedged: Vec<usize> = Vec::new(); // launched as hedges
     let mut last_answer: Option<Response> = None; // best non-2xx seen
 
-    spawn_attempt(Arc::clone(shared), candidates[next], Arc::clone(&body), tx.clone());
+    spawn_attempt(
+        Arc::clone(shared),
+        candidates[next],
+        Arc::clone(&body),
+        tx.clone(),
+        trace_id,
+        root,
+    );
     next += 1;
     in_flight += 1;
 
@@ -509,6 +683,7 @@ fn forward(shared: &Arc<Shared>, labels: &[u64], body: &[u8], started: Instant) 
                 // deadline-bounded wait. Hedge if that's what tripped.
                 if in_flight == 1 && next < candidates.len() {
                     ClusterMetrics::inc(&shared.metrics.backend(current).hedges);
+                    rec.record_event(trace_id, root, Stage::Hedge, candidates[next] as u64, 0);
                     hedged.push(candidates[next]);
                     current = candidates[next];
                     spawn_attempt(
@@ -516,6 +691,8 @@ fn forward(shared: &Arc<Shared>, labels: &[u64], body: &[u8], started: Instant) 
                         candidates[next],
                         Arc::clone(&body),
                         tx.clone(),
+                        trace_id,
+                        root,
                     );
                     next += 1;
                     in_flight += 1;
@@ -528,7 +705,15 @@ fn forward(shared: &Arc<Shared>, labels: &[u64], body: &[u8], started: Instant) 
         if in_flight == 0 {
             if next < candidates.len() {
                 current = candidates[next];
-                spawn_attempt(Arc::clone(shared), candidates[next], Arc::clone(&body), tx.clone());
+                rec.record_event(trace_id, root, Stage::Failover, candidates[next] as u64, 0);
+                spawn_attempt(
+                    Arc::clone(shared),
+                    candidates[next],
+                    Arc::clone(&body),
+                    tx.clone(),
+                    trace_id,
+                    root,
+                );
                 next += 1;
                 in_flight += 1;
             } else {

@@ -236,6 +236,96 @@ fn hedges_a_stalled_backend_and_takes_the_fast_answer() {
 }
 
 #[test]
+fn trace_propagates_cluster_to_svc_to_core_across_a_failover() {
+    use hre_runtime::trace::{is_connected_tree, Stage, TraceId};
+
+    let (mut handles, addrs) = backends(2, SvcConfig::default());
+    // Breaker effectively disabled: the point is the *in-request*
+    // failover path, which only runs while the dead backend still looks
+    // routable up front.
+    let router = start(ClusterConfig {
+        backends: addrs.clone(),
+        failure_threshold: 1000,
+        health_interval: Duration::from_secs(30),
+        timeout: Duration::from_millis(800),
+        hedge_min: Duration::from_secs(10),
+        ..Default::default()
+    })
+    .expect("router");
+    let mut c = client(&router.addr.to_string());
+
+    // A ring homed on backend 0, which we then kill.
+    let victim = addrs[0].clone();
+    let labels = (0..64u64)
+        .map(|salt| {
+            let mut l = vec![1, 3, 1, 3, 2, 2, 1, 2];
+            l[0] = salt + 1;
+            l
+        })
+        .find(|l| router.primary_backend(l) == victim)
+        .expect("some ring homes on backend 0");
+    handles.remove(0).shutdown();
+
+    // Client-chosen trace id, propagated end to end.
+    let trace = TraceId::from_hex("00000000deadbeef").expect("trace id");
+    let resp = c
+        .request_with_headers(
+            "POST",
+            "/elect",
+            &[("x-trace-id", "00000000deadbeef")],
+            Some(body_for(&labels).as_bytes()),
+        )
+        .expect("traced elect");
+    assert_eq!(resp.status, 200, "{}", resp.body_text());
+    assert_eq!(resp.header("x-trace-id"), Some("00000000deadbeef"), "trace id must echo back");
+    assert_eq!(resp.header("x-backend"), Some(addrs[1].as_str()), "failover answer");
+
+    // The merged view on the router joins its own spans with the
+    // surviving backend's (the dead backend is skipped, not fatal).
+    let doc = c.get("/trace/00000000deadbeef").expect("trace fetch");
+    assert_eq!(doc.status, 200, "{}", doc.body_text());
+    let spans = hre_svc::tracewire::spans_from_doc(&doc.body_text()).expect("trace doc");
+    assert!(spans.iter().all(|s| s.trace == trace));
+    assert!(
+        is_connected_tree(&spans),
+        "cluster → svc → core spans must form one tree:\n{}",
+        hre_runtime::trace::render_tree(&spans)
+    );
+
+    let count = |stage: Stage| spans.iter().filter(|s| s.stage == stage).count();
+    let tree = || hre_runtime::trace::render_tree(&spans);
+    // Cluster side: root request, hash + breaker check, two attempts
+    // (one failed), and the failover event between them.
+    let root = spans.iter().find(|s| s.root && s.src == "cluster").expect("cluster root");
+    assert_eq!(root.stage, Stage::Request);
+    assert!(!root.err, "request succeeded end to end");
+    assert_eq!(count(Stage::Hash), 1, "{}", tree());
+    assert_eq!(count(Stage::BreakerCheck), 1, "{}", tree());
+    assert_eq!(count(Stage::Failover), 1, "{}", tree());
+    let attempts: Vec<_> = spans.iter().filter(|s| s.stage == Stage::Attempt).collect();
+    assert_eq!(attempts.len(), 2, "{}", tree());
+    assert!(attempts.iter().all(|a| a.parent == root.id), "attempts are sibling spans");
+    assert_eq!(attempts.iter().filter(|a| a.err).count(), 1, "one dead attempt: {}", tree());
+    // Service side: its own request root (reparented under the
+    // surviving attempt), cache probe, queue wait, execution.
+    let svc_root =
+        spans.iter().find(|s| s.src == addrs[1] && s.stage == Stage::Request).expect("svc root");
+    let winner = attempts.iter().find(|a| !a.err).expect("surviving attempt");
+    assert_eq!(svc_root.parent, winner.id, "cross-process parent link:\n{}", tree());
+    for stage in [Stage::CacheLookup, Stage::QueueWait, Stage::Execute, Stage::Election] {
+        assert_eq!(count(stage), 1, "expected exactly one {stage:?}: {}", tree());
+    }
+    // Core side: the election hook reported real work.
+    let election = spans.iter().find(|s| s.stage == Stage::Election).expect("election span");
+    assert!(election.a > 0, "election must report messages: {}", tree());
+
+    router.shutdown();
+    for h in handles {
+        h.shutdown();
+    }
+}
+
+#[test]
 fn garbage_is_rejected_locally_and_unknown_paths_404() {
     let (handles, addrs) = backends(1, SvcConfig::default());
     let router = start(ClusterConfig { backends: addrs, ..Default::default() }).expect("router");

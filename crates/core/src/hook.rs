@@ -1,0 +1,92 @@
+//! Optional election-run observer hook.
+//!
+//! An embedding runtime (the election service daemon) installs a
+//! process-wide callback once; whatever executes an election afterwards
+//! reports the run's measured complexity through [`notify`]. The core
+//! algorithms stay dependency-free — the hook trades in plain numbers,
+//! and an uninstalled hook costs one relaxed `OnceLock` load per run.
+//!
+//! The service uses this to attach an `election` span (messages sent,
+//! time units elapsed) under its `execute` span in the flight recorder,
+//! which is how a served request's trace reaches all the way down to
+//! the paper's complexity measures (Ak's `(2k+2)n` time, Bk's
+//! `O(k²n²)` — Tables 1–2) without the algorithms knowing about
+//! tracing at all.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// One completed election run, as reported to the installed hook.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ElectionRun {
+    /// Algorithm that ran (`"ak"`, `"bk"`, …).
+    pub algo: &'static str,
+    /// Ring size.
+    pub n: usize,
+    /// Messages sent across all links.
+    pub messages: u64,
+    /// Virtual time units (unit-delay normalization, as in the paper).
+    pub time_units: u64,
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+}
+
+type Hook = Box<dyn Fn(&ElectionRun) + Send + Sync>;
+
+static HOOK: OnceLock<Hook> = OnceLock::new();
+
+/// Installs the process-wide run observer. The first installation wins
+/// and sticks for the life of the process (returns `false` if a hook
+/// was already installed — the newcomer is dropped). Implementations
+/// must be cheap and non-blocking: they run on the election's thread.
+pub fn install(hook: impl Fn(&ElectionRun) + Send + Sync + 'static) -> bool {
+    HOOK.set(Box::new(hook)).is_ok()
+}
+
+/// Reports one completed run to the installed hook, if any.
+pub fn notify(run: &ElectionRun) {
+    if let Some(hook) = HOOK.get() {
+        hook(run);
+    }
+}
+
+/// `true` iff a hook has been installed (lets callers skip assembling
+/// the report when nobody is listening).
+pub fn installed() -> bool {
+    HOOK.get().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn notify_reaches_the_installed_hook_once_installed() {
+        // OnceLock is process-global, so this single test exercises the
+        // whole lifecycle: notify-before-install is a no-op, the first
+        // install wins, later installs are rejected.
+        let seen = Arc::new(AtomicU64::new(0));
+        let run = ElectionRun {
+            algo: "ak",
+            n: 8,
+            messages: 100,
+            time_units: 20,
+            wall: Duration::from_micros(50),
+        };
+        if !installed() {
+            notify(&run); // nobody listening: must not panic
+        }
+        let seen2 = Arc::clone(&seen);
+        let first = install(move |r| {
+            seen2.fetch_add(r.messages, Ordering::Relaxed);
+        });
+        if first {
+            notify(&run);
+            assert_eq!(seen.load(Ordering::Relaxed), 100);
+        }
+        assert!(installed());
+        assert!(!install(|_| ()), "second install must be rejected");
+    }
+}

@@ -28,6 +28,7 @@
 pub mod ak;
 pub mod ak_reference;
 pub mod bk;
+pub mod hook;
 
 pub use ak::{leader_predicate, Ak, AkMsg, AkProc};
 pub use ak_reference::{leader_predicate_naive, AkReference, AkReferenceProc};

@@ -38,6 +38,6 @@ pub mod wire;
 pub use fault::{FaultPolicy, LinkInjector, WireAction};
 pub use frame::{crc32, encode_frame, Frame, FrameError, FrameReader, KIND_ACK, KIND_DATA};
 pub use metrics::{LinkMetrics, LinkSnapshot, NetSnapshot, RTT_BUCKETS};
-pub use node::{run_tcp, NetOptions, NetReport};
+pub use node::{run_tcp, run_tcp_traced, NetOptions, NetReport, TraceHandle};
 pub use reliable::{Offer, Reassembly};
 pub use wire::WireMessage;

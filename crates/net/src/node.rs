@@ -30,6 +30,7 @@ use crate::reliable::{Offer, Reassembly};
 use crate::wire::WireMessage;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use hre_ring::RingLabeling;
+use hre_runtime::trace::{FlightRecorder, SpanId, Stage, TraceId};
 use hre_runtime::{drive_node, NodeTransport, RecvFault, SendFault, ThreadOutcome};
 use hre_sim::{Algorithm, ElectionState, ProcessBehavior};
 use std::collections::BTreeMap;
@@ -80,6 +81,12 @@ impl Default for NetOptions {
         }
     }
 }
+
+/// Where a traced run reports its wire-level recovery events: the
+/// flight recorder plus the trace and parent span the events attach to.
+/// The transport stays zero-overhead when untraced ([`run_tcp`] passes
+/// `None`), and `NetOptions` stays `Copy`.
+pub type TraceHandle = (Arc<FlightRecorder>, TraceId, SpanId);
 
 /// Result of one socket run. Mirrors
 /// [`hre_runtime::ThreadedReport`] plus the transport ledger.
@@ -164,6 +171,7 @@ struct TxLoop<M: WireMessage> {
     rto: Duration,
     drain_deadline: Duration,
     shutdown: Arc<AtomicBool>,
+    trace: Option<TraceHandle>,
 }
 
 impl<M: WireMessage> TxLoop<M> {
@@ -298,6 +306,15 @@ impl<M: WireMessage> TxLoop<M> {
                     self.metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
                 } else {
                     self.metrics.frames_retried.fetch_add(1, Ordering::Relaxed);
+                    if let Some((rec, trace, parent)) = &self.trace {
+                        rec.record_event(
+                            *trace,
+                            *parent,
+                            Stage::Retransmit,
+                            seq,
+                            e.attempts as u64,
+                        );
+                    }
                 }
                 e.next_due = now + self.rto;
                 let bytes = e.bytes.clone();
@@ -414,6 +431,7 @@ struct RxLoop<M: WireMessage> {
     to_driver: Sender<M>,
     metrics: Arc<LinkMetrics>,
     shutdown: Arc<AtomicBool>,
+    trace: Option<TraceHandle>,
 }
 
 impl<M: WireMessage> RxLoop<M> {
@@ -466,11 +484,30 @@ impl<M: WireMessage> RxLoop<M> {
                                                 }
                                             }
                                         }
-                                        Offer::Buffered => {}
+                                        Offer::Buffered => {
+                                            if let Some((rec, trace, parent)) = &self.trace {
+                                                rec.record_event(
+                                                    *trace,
+                                                    *parent,
+                                                    Stage::Reassembly,
+                                                    seq,
+                                                    2,
+                                                );
+                                            }
+                                        }
                                         Offer::Duplicate => {
                                             self.metrics
                                                 .dup_frames_rx
                                                 .fetch_add(1, Ordering::Relaxed);
+                                            if let Some((rec, trace, parent)) = &self.trace {
+                                                rec.record_event(
+                                                    *trace,
+                                                    *parent,
+                                                    Stage::Reassembly,
+                                                    seq,
+                                                    1,
+                                                );
+                                            }
                                         }
                                     }
                                     let ack = encode_frame(reasm.cumulative_ack(), KIND_ACK, &[]);
@@ -512,6 +549,25 @@ where
     A::Proc: Send + 'static,
     <A::Proc as ProcessBehavior>::Msg: WireMessage,
 {
+    run_tcp_traced(algo, ring, opts, None)
+}
+
+/// [`run_tcp`] with an optional flight-recorder attachment: every
+/// wire-level recovery event (a retransmission, a duplicate suppressed,
+/// a frame buffered out of order) lands in the recorder as an instant
+/// event under the given trace and parent span, tagged with the frame's
+/// sequence number. `None` is byte-for-byte the untraced run.
+pub fn run_tcp_traced<A>(
+    algo: &A,
+    ring: &RingLabeling,
+    opts: NetOptions,
+    trace: Option<TraceHandle>,
+) -> NetReport
+where
+    A: Algorithm,
+    A::Proc: Send + 'static,
+    <A::Proc as ProcessBehavior>::Msg: WireMessage,
+{
     let n = ring.n();
     let started = Instant::now();
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -543,6 +599,7 @@ where
             to_driver,
             metrics: Arc::clone(&links[(i + n - 1) % n]),
             shutdown: Arc::clone(&shutdown),
+            trace: trace.clone(),
         };
         rx_handles.push(std::thread::spawn(move || rx.run()));
 
@@ -558,6 +615,7 @@ where
             rto: opts.retransmit_timeout,
             drain_deadline: opts.drain_deadline,
             shutdown: Arc::clone(&shutdown),
+            trace: trace.clone(),
         };
         tx_handles.push(std::thread::spawn(move || tx.run()));
 

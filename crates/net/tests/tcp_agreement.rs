@@ -113,3 +113,49 @@ fn baseline_runs_and_metrics_are_sane() {
     assert!(rep.net.total.rtt.count > 0, "clean wire should collect RTT samples");
     assert_eq!(rep.net.links.len(), ring.n());
 }
+
+/// A traced run under the stress mix lands every wire-recovery event in
+/// the flight recorder — retransmissions and duplicate/buffered frames,
+/// all parented under the caller's span — while an untraced run stays
+/// recorder-free.
+#[test]
+fn traced_run_records_retransmit_and_reassembly_events() {
+    use hre_net::run_tcp_traced;
+    use hre_runtime::trace::{FlightRecorder, SpanId, Stage};
+    use std::sync::Arc;
+
+    let opts = NetOptions {
+        faults: FaultPolicy::stress(),
+        fault_seed: 0xF00D,
+        retransmit_timeout: Duration::from_millis(15),
+        ..NetOptions::default()
+    };
+    let rec = Arc::new(FlightRecorder::new(4096));
+    let trace = rec.mint_trace();
+    let parent = SpanId(0x42);
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let ring = generate::random_a_inter_kk(10, 3, 40, &mut rng);
+    let rep = run_tcp_traced(&Ak::new(3), &ring, opts, Some((Arc::clone(&rec), trace, parent)));
+    assert!(rep.clean(), "traced faulted run must still elect cleanly");
+    assert!(rep.net.total.frames_retried > 0, "stress mix should retransmit");
+
+    let spans = rec.trace_spans(trace);
+    let retransmits: Vec<_> = spans.iter().filter(|s| s.stage == Stage::Retransmit).collect();
+    assert!(!retransmits.is_empty(), "retransmissions must be traced");
+    assert!(retransmits.iter().all(|s| s.parent == parent && s.b >= 2), "b is the attempt number");
+    if rep.net.total.dup_frames_rx > 0 {
+        assert!(
+            spans.iter().any(|s| s.stage == Stage::Reassembly && s.b == 1),
+            "suppressed duplicates must be traced"
+        );
+    }
+    // Every event sits under the caller's trace; nothing minted its own.
+    assert!(spans.iter().all(|s| s.trace == trace && !s.root));
+
+    // The untraced entry point records nothing anywhere.
+    let silent = Arc::new(FlightRecorder::new(64));
+    let t2 = silent.mint_trace();
+    let rep2 = run_tcp(&Ak::new(3), &ring, opts);
+    assert!(rep2.clean());
+    assert!(silent.trace_spans(t2).is_empty());
+}

@@ -84,12 +84,21 @@ impl HistSnapshot {
 
     /// Compact human-readable rendering listing only occupied buckets,
     /// one `    [lo, hi): count` line each; a placeholder line when empty.
+    ///
+    /// The edge buckets are labeled for what they actually hold: bucket
+    /// 0 absorbs sub-µs samples (including 0), so its range is
+    /// `[0µs, 2µs)`; the final bucket clamps everything larger, so its
+    /// upper bound is `+Inf`, not a finite power of two.
     pub fn pretty(&self) -> String {
         let mut out = String::new();
         for (i, &c) in self.buckets.iter().enumerate() {
             if c > 0 {
-                let lo = 1u64 << i;
-                out.push_str(&format!("    [{:>7}µs, {:>7}µs): {}\n", lo, lo << 1, c));
+                let lo = if i == 0 { 0 } else { 1u64 << i };
+                if i + 1 == LOG2_BUCKETS {
+                    out.push_str(&format!("    [{lo:>7}µs,    +Inf): {c}\n"));
+                } else {
+                    out.push_str(&format!("    [{:>7}µs, {:>7}µs): {}\n", lo, 1u64 << (i + 1), c));
+                }
             }
         }
         if out.is_empty() {
@@ -97,6 +106,89 @@ impl HistSnapshot {
         }
         out
     }
+
+    /// Estimate of the `q`-quantile (`0 < q ≤ 1`) in microseconds,
+    /// linearly interpolated within the covering log₂ bucket. Zero when
+    /// empty.
+    ///
+    /// The rank-`r` sample (1-based, `r = ⌈q·count⌉`) lies in some
+    /// bucket `[lo, hi)`; assuming samples spread evenly inside the
+    /// bucket, the estimate is `lo + (hi−lo)·(position of r within the
+    /// bucket)/(bucket count)`. The error is therefore bounded by the
+    /// bucket width, and the estimate degenerates to the exclusive
+    /// upper edge `hi` only when rank-`r` is the bucket's last sample —
+    /// unlike an upper-edge (or lower-edge) rule, which is off by up to
+    /// the full 2× bucket ratio regardless of where the mass sits. For
+    /// the clamp bucket the nominal `[2^23, 2^24)` width is used (its
+    /// true extent is unbounded, but at ≥ 8.4 s any estimate is "slow").
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().clamp(1.0, self.count as f64) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if c > 0 && cumulative >= rank {
+                let lo = if i == 0 { 0 } else { 1u64 << i };
+                let width = if i == 0 { 2 } else { 1u64 << i };
+                let into = c - (cumulative - rank); // 1..=c
+                return lo + width.saturating_mul(into) / c;
+            }
+        }
+        u64::MAX // unreachable: the buckets sum to `count`
+    }
+}
+
+/// Renders one histogram family in Prometheus text format, in base
+/// seconds, from a log₂-µs snapshot — the single shared implementation
+/// behind every `_seconds` histogram the daemons export, so the `le`
+/// edges cannot drift between layers.
+///
+/// Edge audit (matches the bucket layout exactly): bucket `i` holds
+/// samples in `[2^i, 2^(i+1))` µs, so its cumulative count is correct
+/// under `le = 2^(i+1)/1e6` (an *inclusive* Prometheus bound covering
+/// the bucket's *exclusive* upper edge — safe because integral µs < the
+/// edge are also < the edge in seconds). Bucket 0 additionally absorbs
+/// sub-µs samples, which `le = 2/1e6` covers. The final clamp bucket is
+/// unbounded, so it gets no finite `le`; only `+Inf` covers it.
+///
+/// The `# HELP`/`# TYPE` preamble is emitted once per family per output
+/// buffer — repeated calls for further labeled series skip it. `label`
+/// adds one `key="value"` pair to every series (e.g. a backend or stage
+/// label); sum and count are in base seconds / samples.
+pub fn render_prometheus_histogram(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label: Option<(&str, &str)>,
+    snap: &HistSnapshot,
+) {
+    if !out.contains(&format!("# TYPE {name} ")) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    }
+    let bucket_label = |le: &str| match label {
+        Some((k, v)) => format!("{{{k}=\"{v}\",le=\"{le}\"}}"),
+        None => format!("{{le=\"{le}\"}}"),
+    };
+    let suffix = |kind: &str| match label {
+        Some((k, v)) => format!("{name}_{kind}{{{k}=\"{v}\"}}"),
+        None => format!("{name}_{kind}"),
+    };
+    let mut cumulative = 0u64;
+    for (i, &b) in snap.buckets.iter().enumerate() {
+        cumulative += b;
+        if i + 1 < LOG2_BUCKETS {
+            let le_seconds = (1u64 << (i + 1)) as f64 / 1e6;
+            out.push_str(&format!(
+                "{name}_bucket{} {cumulative}\n",
+                bucket_label(&le_seconds.to_string())
+            ));
+        }
+    }
+    out.push_str(&format!("{name}_bucket{} {}\n", bucket_label("+Inf"), snap.count));
+    out.push_str(&format!("{} {}\n", suffix("sum"), snap.sum_us as f64 / 1e6));
+    out.push_str(&format!("{} {}\n", suffix("count"), snap.count));
 }
 
 #[cfg(test)]
@@ -139,6 +231,95 @@ mod tests {
         assert!(p.contains("[      4µs,       8µs): 2"), "{p}");
         assert!(p.contains("[     64µs,     128µs): 1"), "{p}");
         assert!(HistSnapshot::default().pretty().contains("no samples"));
+    }
+
+    #[test]
+    fn pretty_labels_the_edge_buckets_truthfully() {
+        // Regression: bucket 0 used to print "[1µs, 2µs)" although 0µs
+        // samples clamp into it, and the final clamp bucket printed the
+        // finite "[8388608µs, 16777216µs)" although it is unbounded.
+        let h = Log2Histogram::default();
+        h.record_us(0); // bucket 0: really [0, 2)
+        h.record(Duration::from_secs(3600)); // clamp bucket: really [2^23, +Inf)
+        let p = h.snapshot().pretty();
+        assert!(p.contains("[      0µs,       2µs): 1"), "{p}");
+        assert!(p.contains("[8388608µs,    +Inf): 1"), "{p}");
+        assert!(!p.contains("16777216"), "clamp bucket must not print a finite bound: {p}");
+    }
+
+    #[test]
+    fn quantile_interpolates_within_the_bucket() {
+        let h = Log2Histogram::default();
+        // 100 samples spread across bucket 6 ([64, 128) µs).
+        for i in 0..100 {
+            h.record_us(64 + (i * 64) / 100);
+        }
+        let s = h.snapshot();
+        // p50: rank 50 of 100 in [64, 128) → 64 + 64·50/100 = 96.
+        assert_eq!(s.quantile_us(0.5), 96);
+        // p100 degenerates to the bucket's upper edge.
+        assert_eq!(s.quantile_us(1.0), 128);
+        // p1: rank 1 → 64 + 64/100 = 64 (integer floor).
+        assert_eq!(s.quantile_us(0.01), 64);
+        assert_eq!(HistSnapshot::default().quantile_us(0.95), 0);
+    }
+
+    #[test]
+    fn quantile_handles_edge_buckets() {
+        let h = Log2Histogram::default();
+        for _ in 0..10 {
+            h.record_us(0); // bucket 0: [0, 2)
+        }
+        // p50 of all-zeros interpolates within [0, 2): rank 5 → 2·5/10 = 1.
+        assert_eq!(h.snapshot().quantile_us(0.5), 1);
+        let clamp = Log2Histogram::default();
+        clamp.record(Duration::from_secs(100)); // clamp bucket
+        let est = clamp.snapshot().quantile_us(0.95);
+        assert!(est >= 1 << 23, "clamp estimate below the bucket: {est}");
+    }
+
+    #[test]
+    fn prometheus_render_has_audited_le_edges() {
+        let h = Log2Histogram::default();
+        h.record_us(0); // bucket 0
+        h.record_us(100); // bucket 6: le edges 128µs and up cover it
+        h.record(Duration::from_secs(3600)); // clamp bucket: only +Inf covers it
+        let mut out = String::new();
+        render_prometheus_histogram(&mut out, "t_seconds", "test family", None, &h.snapshot());
+        // Bucket 0's upper edge is 2µs = 2e-6 s and covers the 0µs sample.
+        assert!(out.contains("t_seconds_bucket{le=\"0.000002\"} 1\n"), "{out}");
+        assert!(out.contains("t_seconds_bucket{le=\"0.000128\"} 2\n"), "{out}");
+        // The clamp bucket gets no finite le: the largest finite edge is
+        // 2^23 µs and excludes the clamp sample; +Inf includes it.
+        assert!(out.contains("t_seconds_bucket{le=\"8.388608\"} 2\n"), "{out}");
+        assert!(!out.contains("le=\"16.777216\""), "{out}");
+        assert!(out.contains("t_seconds_bucket{le=\"+Inf\"} 3\n"), "{out}");
+        assert!(out.contains("t_seconds_count 3\n"), "{out}");
+        // Exactly LOG2_BUCKETS lines: 23 finite edges + the +Inf bucket.
+        let buckets = out.lines().filter(|l| l.starts_with("t_seconds_bucket")).count();
+        assert_eq!(buckets, LOG2_BUCKETS);
+        // Labeled series share one preamble per family.
+        let mut labeled = String::new();
+        render_prometheus_histogram(
+            &mut labeled,
+            "t_seconds",
+            "test family",
+            Some(("stage", "execute")),
+            &h.snapshot(),
+        );
+        render_prometheus_histogram(
+            &mut labeled,
+            "t_seconds",
+            "test family",
+            Some(("stage", "hash")),
+            &HistSnapshot::default(),
+        );
+        assert_eq!(labeled.matches("# TYPE t_seconds histogram").count(), 1, "{labeled}");
+        assert!(
+            labeled.contains("t_seconds_bucket{stage=\"execute\",le=\"+Inf\"} 3\n"),
+            "{labeled}"
+        );
+        assert!(labeled.contains("t_seconds_sum{stage=\"hash\"} 0\n"), "{labeled}");
     }
 
     #[test]

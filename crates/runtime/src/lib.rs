@@ -21,10 +21,12 @@
 pub mod backoff;
 pub mod driver;
 pub mod hist;
+pub mod trace;
 
 pub use backoff::Backoff;
 pub use driver::{drive_node, NodeTransport, RecvFault, SendFault, ThreadOutcome};
-pub use hist::{bucket_of, HistSnapshot, Log2Histogram, LOG2_BUCKETS};
+pub use hist::{bucket_of, render_prometheus_histogram, HistSnapshot, Log2Histogram, LOG2_BUCKETS};
+pub use trace::{FlightRecorder, SpanAttrs, SpanId, SpanRecord, Stage, TraceId, DEFAULT_TRACE_CAP};
 
 use crossbeam::channel::{
     bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender,

@@ -202,6 +202,7 @@ pub fn run_election(req: &ElectRequest) -> Result<ElectOutcome, String> {
     let ring = req.ring();
     let mut sched = RoundRobinSched::default();
     let opts = RunOptions::default();
+    let t0 = std::time::Instant::now();
     let (clean, leader, metrics) = match req.algo {
         AlgoId::Ak => digest(run(&Ak::new(req.k), &ring, &mut sched, opts)),
         AlgoId::AkRef => digest(run(&AkReference::new(req.k), &ring, &mut sched, opts)),
@@ -210,6 +211,15 @@ pub fn run_election(req: &ElectRequest) -> Result<ElectOutcome, String> {
         AlgoId::Peterson => digest(run(&Peterson, &ring, &mut sched, opts)),
         AlgoId::OracleN => digest(run(&OracleN::new(ring.n()), &ring, &mut sched, opts)),
     };
+    if hre_core::hook::installed() {
+        hre_core::hook::notify(&hre_core::hook::ElectionRun {
+            algo: req.algo.name(),
+            n: ring.n(),
+            messages: metrics.messages,
+            time_units: metrics.time_units,
+            wall: t0.elapsed(),
+        });
+    }
     let leader = match (clean, leader) {
         (true, Some(l)) => l,
         _ => {

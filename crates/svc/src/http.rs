@@ -14,8 +14,13 @@ use std::time::{Duration, Instant};
 
 /// Upper bound on head (request line + headers) size.
 const MAX_HEAD: usize = 16 * 1024;
-/// Upper bound on body size — a 4096-label ring spec is ~50 KiB.
-const MAX_BODY: usize = 1024 * 1024;
+/// Default upper bound on body size (server requests *and* client
+/// responses) — a 4096-label ring spec is ~50 KiB, so 1 MiB is ample.
+/// Configurable per connection via [`HttpConn::set_max_body`] /
+/// [`Client::set_max_body`]; a declared `Content-Length` over the cap
+/// is rejected *before* any body byte is buffered, so a hostile header
+/// can never force a large allocation.
+pub const DEFAULT_MAX_BODY: usize = 1024 * 1024;
 
 /// A parsed HTTP request.
 #[derive(Clone, Debug)]
@@ -57,21 +62,39 @@ pub enum ReadOutcome {
     /// The peer sent something unparseable; the caller should answer
     /// 400 and close.
     Malformed(String),
+    /// The declared `Content-Length` exceeds the connection's body cap;
+    /// the caller should answer `413 Payload Too Large`. When `drained`
+    /// the oversized body was read and discarded in bounded memory, so
+    /// the connection is still framed correctly and keep-alive may
+    /// continue; otherwise (peer too slow, or gone) it must close.
+    TooLarge {
+        /// The `Content-Length` the peer declared.
+        declared: usize,
+        /// The body was fully discarded; keep-alive can continue.
+        drained: bool,
+    },
 }
 
 /// A buffered connection that can read successive keep-alive requests.
 pub struct HttpConn {
     stream: TcpStream,
     buf: Vec<u8>,
+    max_body: usize,
 }
 
 impl HttpConn {
     /// Wraps a stream, arming the short read timeout the poll loop
-    /// relies on.
+    /// relies on. The body cap starts at [`DEFAULT_MAX_BODY`].
     pub fn new(stream: TcpStream, poll: Duration) -> std::io::Result<HttpConn> {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(poll.max(Duration::from_millis(1))))?;
-        Ok(HttpConn { stream, buf: Vec::new() })
+        Ok(HttpConn { stream, buf: Vec::new(), max_body: DEFAULT_MAX_BODY })
+    }
+
+    /// Sets the largest request body this connection will buffer;
+    /// larger declared lengths yield [`ReadOutcome::TooLarge`].
+    pub fn set_max_body(&mut self, max_body: usize) {
+        self.max_body = max_body;
     }
 
     /// The underlying stream (for writing responses).
@@ -153,8 +176,8 @@ impl HttpConn {
         }
         let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
             Some((_, v)) => match v.parse::<usize>() {
-                Ok(len) if len <= MAX_BODY => len,
-                Ok(_) => return ReadOutcome::Malformed("body too large".into()),
+                Ok(len) if len <= self.max_body => len,
+                Ok(len) => return self.reject_oversized_body(head_end, len, deadline),
                 Err(_) => return ReadOutcome::Malformed("bad content-length".into()),
             },
             None => 0,
@@ -189,6 +212,47 @@ impl HttpConn {
             headers,
             body,
         })
+    }
+
+    /// Handles a declared body over the cap: the head is consumed and
+    /// the body is read and *discarded* in a fixed 4 KiB chunk (never
+    /// buffered), so the peer's framing stays intact and the connection
+    /// can answer `413` and keep serving. If the peer cannot deliver the
+    /// body by `deadline` (or hangs up), draining is abandoned and the
+    /// caller must close after responding.
+    fn reject_oversized_body(
+        &mut self,
+        head_end: usize,
+        declared: usize,
+        deadline: Instant,
+    ) -> ReadOutcome {
+        self.buf.drain(..head_end + 4);
+        // Body bytes that arrived with the head are discarded in place;
+        // anything beyond the body is the next pipelined request.
+        let already = self.buf.len().min(declared);
+        self.buf.drain(..already);
+        let mut remaining = declared - already;
+        let mut chunk = [0u8; 4096];
+        while remaining > 0 {
+            if Instant::now() >= deadline {
+                return ReadOutcome::TooLarge { declared, drained: false };
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::TooLarge { declared, drained: false },
+                Ok(n) => {
+                    let consumed = n.min(remaining);
+                    remaining -= consumed;
+                    // Over-read past the body: keep for the next request.
+                    self.buf.extend_from_slice(&chunk[consumed..n]);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut
+                        || e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return ReadOutcome::TooLarge { declared, drained: false },
+            }
+        }
+        ReadOutcome::TooLarge { declared, drained: true }
     }
 }
 
@@ -245,6 +309,7 @@ impl Response {
             404 => "Not Found",
             405 => "Method Not Allowed",
             408 => "Request Timeout",
+            413 => "Payload Too Large",
             422 => "Unprocessable Entity",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
@@ -304,6 +369,7 @@ pub struct Client {
     stream: TcpStream,
     buf: Vec<u8>,
     host: String,
+    max_body: usize,
 }
 
 impl Client {
@@ -316,7 +382,15 @@ impl Client {
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
-        Ok(Client { stream, buf: Vec::new(), host: addr.to_string() })
+        Ok(Client { stream, buf: Vec::new(), host: addr.to_string(), max_body: DEFAULT_MAX_BODY })
+    }
+
+    /// Sets the largest response body this client will buffer. A
+    /// response declaring more is a transport error ([`std::io::ErrorKind::InvalidData`]):
+    /// without the cap, a hostile or broken server's `Content-Length`
+    /// could make the client allocate without bound.
+    pub fn set_max_body(&mut self, max_body: usize) {
+        self.max_body = max_body;
     }
 
     /// Sends one request and reads the response.
@@ -326,12 +400,28 @@ impl Client {
         path: &str,
         body: Option<&[u8]>,
     ) -> std::io::Result<ClientResponse> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// Sends one request carrying extra headers (e.g. `x-trace-id`) and
+    /// reads the response.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra: &[(&str, &str)],
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
         let body = body.unwrap_or_default();
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n",
             self.host,
             body.len(),
         );
+        for (name, value) in extra {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body)?;
         self.stream.flush()?;
@@ -383,6 +473,18 @@ impl Client {
             .find(|(k, _)| k == "content-length")
             .and_then(|(_, v)| v.parse().ok())
             .unwrap_or(0);
+        if content_length > self.max_body {
+            // Refuse to buffer it; the stream is desynced now, so the
+            // caller must drop this client (the pools already drop any
+            // client that returned an error).
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "response declared {content_length} body bytes, over the {} cap",
+                    self.max_body
+                ),
+            ));
+        }
         self.buf.drain(..head_end + 4);
         while self.buf.len() < content_length {
             match self.stream.read(&mut chunk)? {
@@ -475,6 +577,126 @@ mod tests {
             assert_eq!(resp.body_text(), path);
         }
         assert_eq!(server.join().expect("join"), 3);
+    }
+
+    #[test]
+    fn oversized_body_yields_too_large_and_keep_alive_survives() {
+        // Regression: an over-cap Content-Length used to come back as
+        // Malformed ("body too large") — a 400 that also killed the
+        // connection. Now it is TooLarge{drained: true}, the body is
+        // discarded without buffering, and the *same* connection serves
+        // the next request.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn({
+            let listener = listener.try_clone().expect("clone");
+            move || {
+                let (stream, _) = listener.accept().expect("accept");
+                let mut conn = HttpConn::new(stream, Duration::from_millis(20)).expect("conn");
+                conn.set_max_body(64);
+                let mut outcomes = Vec::new();
+                for _ in 0..2 {
+                    loop {
+                        match conn.read_request(Instant::now() + Duration::from_secs(2)) {
+                            ReadOutcome::IdlePoll => continue,
+                            ReadOutcome::TooLarge { declared, drained } => {
+                                outcomes.push(format!("too-large {declared} {drained}"));
+                                Response::text(413, "").write_to(conn.stream(), false).unwrap();
+                                break;
+                            }
+                            ReadOutcome::Request(req) => {
+                                outcomes.push(format!("request {}", req.body.len()));
+                                Response::text(200, "").write_to(conn.stream(), false).unwrap();
+                                break;
+                            }
+                            other => panic!("unexpected {other:?}"),
+                        }
+                    }
+                }
+                outcomes
+            }
+        });
+        let mut client = Client::connect(&addr, Duration::from_secs(2)).expect("connect");
+        let resp = client.request("POST", "/elect", Some(&[b'x'; 200])).expect("oversized");
+        assert_eq!(resp.status, 413);
+        // The connection is still usable: an in-cap request succeeds.
+        let resp = client.request("POST", "/elect", Some(&[b'y'; 10])).expect("follow-up");
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            server.join().expect("join"),
+            vec!["too-large 200 true".to_string(), "request 10".to_string()]
+        );
+    }
+
+    #[test]
+    fn oversized_body_from_a_stalling_peer_reports_undrained() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn({
+            let listener = listener.try_clone().expect("clone");
+            move || {
+                let (stream, _) = listener.accept().expect("accept");
+                let mut conn = HttpConn::new(stream, Duration::from_millis(5)).expect("conn");
+                conn.set_max_body(64);
+                loop {
+                    match conn.read_request(Instant::now() + Duration::from_millis(100)) {
+                        ReadOutcome::IdlePoll => continue,
+                        outcome => return format!("{outcome:?}"),
+                    }
+                }
+            }
+        });
+        // Declare a huge body, send only the head: the server must give
+        // up at the deadline and report the drain as incomplete.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /elect HTTP/1.1\r\ncontent-length: 1000000\r\n\r\n")
+            .expect("write");
+        let outcome = server.join().expect("join");
+        assert!(outcome.contains("TooLarge"), "{outcome}");
+        assert!(outcome.contains("drained: false"), "{outcome}");
+    }
+
+    #[test]
+    fn client_refuses_oversized_response_bodies() {
+        // Regression: the client trusted the server's Content-Length
+        // and would buffer any declared size; now it errors out before
+        // allocating.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut sink = [0u8; 1024];
+            let _ = stream.read(&mut sink);
+            stream
+                .write_all(b"HTTP/1.1 200 OK\r\ncontent-length: 999999999\r\n\r\n")
+                .expect("write head");
+        });
+        let mut client = Client::connect(&addr, Duration::from_secs(2)).expect("connect");
+        client.set_max_body(1024);
+        let err = client.get("/x").expect_err("must refuse");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("999999999"), "{err}");
+    }
+
+    #[test]
+    fn request_with_headers_carries_extras() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = echo_once(&listener);
+        let mut client = Client::connect(&addr, Duration::from_secs(2)).expect("connect");
+        let resp = client
+            .request_with_headers(
+                "POST",
+                "/elect",
+                &[("x-trace-id", "00000000000000ff"), ("x-parent-span", "0000000000000007")],
+                Some(b"{}"),
+            )
+            .expect("request");
+        assert_eq!(resp.status, 200);
+        let req = server.join().expect("server");
+        assert_eq!(req.header("x-trace-id"), Some("00000000000000ff"));
+        assert_eq!(req.header("x-parent-span"), Some("0000000000000007"));
     }
 
     #[test]

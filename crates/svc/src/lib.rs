@@ -38,11 +38,12 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod server;
+pub mod tracewire;
 
 pub use api::{error_json, response_json, run_election, AlgoId, ElectOutcome, ElectRequest};
 pub use bench::{run_load, LoadOptions, LoadReport};
 pub use cache::{CacheKey, CacheSnapshot, ShardedLru};
-pub use http::{Client, ClientResponse};
+pub use http::{Client, ClientResponse, DEFAULT_MAX_BODY};
 pub use json::Json;
 pub use metrics::SvcMetrics;
 pub use server::{start, ServerHandle, SvcConfig, SvcSummary};

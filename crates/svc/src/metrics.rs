@@ -19,7 +19,8 @@
 //! away. Every alias's `# HELP` line names its replacement.
 
 use crate::cache::CacheSnapshot;
-use hre_runtime::{Log2Histogram, LOG2_BUCKETS};
+use hre_runtime::trace::Stage;
+use hre_runtime::{render_prometheus_histogram, HistSnapshot, Log2Histogram, LOG2_BUCKETS};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -75,6 +76,7 @@ impl SvcMetrics {
         cache: &CacheSnapshot,
         workers: usize,
         queue_cap: usize,
+        stages: &[(Stage, HistSnapshot)],
     ) -> String {
         fn counter(out: &mut String, name: &str, help: &str, value: u64) {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
@@ -196,24 +198,30 @@ impl SvcMetrics {
         gauge("hre_svc_cache_entries", "entries resident in the result cache", cache.len as i64);
 
         // Latency histogram: bucket i covers latencies < 2^(i+1) µs.
-        // Canonical series in base seconds; the original µs-bounded
-        // series stays as a deprecated alias for one release.
+        // Canonical series in base seconds (shared renderer — audited
+        // `le` edges); the original µs-bounded series stays as a
+        // deprecated alias for one release.
         let snap = self.elect_latency.snapshot();
-        let name = "hre_svc_elect_latency_seconds";
-        out.push_str(&format!(
-            "# HELP {name} end-to-end latency of /elect requests\n# TYPE {name} histogram\n"
-        ));
-        let mut cumulative = 0u64;
-        for (i, &b) in snap.buckets.iter().enumerate() {
-            cumulative += b;
-            if i + 1 < LOG2_BUCKETS {
-                let le = (1u64 << (i + 1)) as f64 / 1e6;
-                out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
-            }
+        render_prometheus_histogram(
+            &mut out,
+            "hre_svc_elect_latency_seconds",
+            "end-to-end latency of /elect requests",
+            None,
+            &snap,
+        );
+
+        // Per-stage latencies derived from the flight recorder's spans
+        // (same family name on the cluster router: one cross-daemon
+        // vocabulary, distinguished by scrape target).
+        for (stage, stage_snap) in stages {
+            render_prometheus_histogram(
+                &mut out,
+                "hre_stage_seconds",
+                "time spent per request stage, from flight-recorder spans",
+                Some(("stage", stage.as_str())),
+                stage_snap,
+            );
         }
-        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
-        out.push_str(&format!("{name}_sum {}\n", snap.sum_us as f64 / 1e6));
-        out.push_str(&format!("{name}_count {}\n", snap.count));
 
         let name = "hre_svc_elect_latency_microseconds";
         out.push_str(&format!(
@@ -251,7 +259,10 @@ mod tests {
         m.observe_elect(Duration::from_micros(100));
         m.observe_elect(Duration::from_micros(5_000));
         let cache = CacheSnapshot { hits: 7, misses: 2, inserts: 2, evictions: 1, len: 2 };
-        let text = m.render_prometheus(&cache, 4, 256);
+        let stage_hist = Log2Histogram::default();
+        stage_hist.record(Duration::from_micros(50));
+        let stages = vec![(Stage::Execute, stage_hist.snapshot())];
+        let text = m.render_prometheus(&cache, 4, 256, &stages);
         // Canonical (post-audit) names.
         assert!(text.contains("hre_svc_requests_elect_ok_total 2\n"), "{text}");
         assert!(text.contains("hre_svc_requests_rejected_busy_total 1\n"), "{text}");
@@ -271,6 +282,13 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("hre_svc_elect_latency_seconds_sum 0.0051\n"), "{text}");
+        // Per-stage histograms from the flight recorder.
+        assert!(text.contains("# TYPE hre_stage_seconds histogram"), "{text}");
+        assert!(
+            text.contains("hre_stage_seconds_bucket{stage=\"execute\",le=\"0.000064\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("hre_stage_seconds_count{stage=\"execute\"} 1\n"), "{text}");
         // …and the µs alias, identical counts.
         assert!(text.contains("# TYPE hre_svc_elect_latency_microseconds histogram"), "{text}");
         assert!(text.contains("hre_svc_elect_latency_microseconds_count 2\n"), "{text}");

@@ -27,10 +27,12 @@
 
 use crate::api::{self, ElectRequest};
 use crate::cache::{CacheKey, CacheSnapshot, CachedResult, ShardedLru};
-use crate::http::{HttpConn, ReadOutcome, Request, Response};
+use crate::http::{HttpConn, ReadOutcome, Request, Response, DEFAULT_MAX_BODY};
 use crate::metrics::SvcMetrics;
+use crate::tracewire;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender};
-use hre_runtime::HistSnapshot;
+use hre_runtime::trace::{self, FlightRecorder, SpanAttrs, SpanId, Stage, TraceId};
+use hre_runtime::{HistSnapshot, DEFAULT_TRACE_CAP};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -52,6 +54,13 @@ pub struct SvcConfig {
     pub queue_cap: usize,
     /// Per-request deadline, admission to response.
     pub deadline: Duration,
+    /// Largest request body accepted (larger ⇒ `413`).
+    pub max_body: usize,
+    /// Flight-recorder capacity in spans (0 disables tracing).
+    pub trace_cap: usize,
+    /// Requests slower than this log their span tree to stderr
+    /// (`None` disables the slow-request log).
+    pub slow_threshold: Option<Duration>,
 }
 
 impl Default for SvcConfig {
@@ -63,6 +72,9 @@ impl Default for SvcConfig {
             cache_shards: 8,
             queue_cap: 256,
             deadline: Duration::from_secs(2),
+            max_body: DEFAULT_MAX_BODY,
+            trace_cap: DEFAULT_TRACE_CAP,
+            slow_threshold: Some(Duration::from_secs(1)),
         }
     }
 }
@@ -79,6 +91,11 @@ struct Job {
     key: CacheKey,
     deadline: Instant,
     reply: Sender<CachedResult>,
+    /// Trace context: the request's trace, its root span (parent for
+    /// the worker-side spans), and when the job entered the queue.
+    trace: TraceId,
+    parent: SpanId,
+    enqueued: Instant,
 }
 
 /// Everything the connection threads share.
@@ -86,6 +103,7 @@ struct Shared {
     cfg: SvcConfig,
     metrics: SvcMetrics,
     cache: ShardedLru,
+    recorder: Arc<FlightRecorder>,
     shutdown: AtomicBool,
 }
 
@@ -157,8 +175,27 @@ pub fn start(cfg: SvcConfig) -> std::io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    // The election hook reports into whatever span is current on the
+    // running thread, so one process-global installation serves every
+    // daemon (and every recorder) in the process.
+    let _ = hre_core::hook::install(|run| {
+        let end = Instant::now();
+        trace::with_current(|rec, trace_id, parent| {
+            let start = end.checked_sub(run.wall).unwrap_or(end);
+            rec.record_span(
+                trace_id,
+                parent,
+                Stage::Election,
+                start,
+                end,
+                SpanAttrs { a: run.messages, b: run.time_units, ..Default::default() },
+            );
+        });
+    });
+
     let shared = Arc::new(Shared {
         cache: ShardedLru::new(cfg.cache_cap, cfg.cache_shards),
+        recorder: FlightRecorder::new(cfg.trace_cap),
         cfg: cfg.clone(),
         metrics: SvcMetrics::default(),
         shutdown: AtomicBool::new(false),
@@ -197,7 +234,13 @@ impl ServerHandle {
             &self.shared.cache.snapshot(),
             self.shared.cfg.workers.max(1),
             self.shared.cfg.queue_cap.max(1),
+            &self.shared.recorder.stage_snapshots(),
         )
+    }
+
+    /// The daemon's flight recorder (for tests and embedding callers).
+    pub fn recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.recorder)
     }
 
     /// Requests a graceful drain and joins every thread: the acceptor
@@ -281,6 +324,7 @@ fn acceptor_loop(
 /// an error, or shutdown.
 fn connection_loop(stream: TcpStream, shared: &Shared, job_tx: Sender<Job>) {
     let Ok(mut conn) = HttpConn::new(stream, POLL) else { return };
+    conn.set_max_body(shared.cfg.max_body);
     loop {
         let outcome = conn.read_request(Instant::now() + Duration::from_secs(5));
         match outcome {
@@ -294,6 +338,21 @@ fn connection_loop(stream: TcpStream, shared: &Shared, job_tx: Sender<Job>) {
                 SvcMetrics::inc(&shared.metrics.bad_requests);
                 let _ = Response::json(400, api::error_json(&why)).write_to(conn.stream(), true);
                 return;
+            }
+            ReadOutcome::TooLarge { declared, drained } => {
+                // The declared body exceeds the cap. When the oversized
+                // body was fully drained the connection framing is
+                // intact and keep-alive survives; otherwise close.
+                SvcMetrics::inc(&shared.metrics.bad_requests);
+                let why = format!(
+                    "request body of {declared} bytes exceeds the {} byte limit",
+                    shared.cfg.max_body
+                );
+                let close = !drained || shared.shutdown.load(Ordering::Relaxed);
+                let resp = Response::json(413, api::error_json(&why));
+                if resp.write_to(conn.stream(), close).is_err() || close {
+                    return;
+                }
             }
             ReadOutcome::Request(req) => {
                 let close = req.wants_close() || shared.shutdown.load(Ordering::Relaxed);
@@ -309,7 +368,7 @@ fn connection_loop(stream: TcpStream, shared: &Shared, job_tx: Sender<Job>) {
 /// Dispatches one parsed request.
 fn route(req: &Request, shared: &Shared, job_tx: &Sender<Job>) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/elect") => handle_elect(&req.body, shared, job_tx),
+        ("POST", "/elect") => handle_elect(req, shared, job_tx),
         ("GET", "/healthz") => {
             SvcMetrics::inc(&shared.metrics.health_checks);
             Response::text(200, "ok\n")
@@ -320,8 +379,12 @@ fn route(req: &Request, shared: &Shared, job_tx: &Sender<Job>) -> Response {
                 &shared.cache.snapshot(),
                 shared.cfg.workers.max(1),
                 shared.cfg.queue_cap.max(1),
+                &shared.recorder.stage_snapshots(),
             );
             Response::text(200, text)
+        }
+        ("GET", path) if path.starts_with("/trace/") => {
+            handle_trace(&path["/trace/".len()..], &shared.recorder)
         }
         ("POST", _) | ("GET", _) => {
             SvcMetrics::inc(&shared.metrics.not_found);
@@ -334,9 +397,73 @@ fn route(req: &Request, shared: &Shared, job_tx: &Sender<Job>) -> Response {
     }
 }
 
-/// The `/elect` path: parse, consult the cache, or queue for a worker.
-fn handle_elect(body: &[u8], shared: &Shared, job_tx: &Sender<Job>) -> Response {
+/// `GET /trace/recent` and `GET /trace/<hex id>`: the flight recorder's
+/// read side, shared verbatim by the cluster router.
+pub fn handle_trace(tail: &str, recorder: &FlightRecorder) -> Response {
+    if tail == "recent" {
+        let doc = tracewire::recent_doc(&recorder.recent_roots(32), recorder.now_us());
+        return Response::json(200, doc);
+    }
+    let Some(trace_id) = TraceId::from_hex(tail) else {
+        return Response::json(400, api::error_json("trace id must be 1-16 hex digits, nonzero"));
+    };
+    let spans = recorder.trace_spans(trace_id);
+    if spans.is_empty() {
+        return Response::json(
+            404,
+            api::error_json("no spans retained for that trace (evicted, or never seen)"),
+        );
+    }
+    Response::json(200, tracewire::trace_doc(trace_id, &spans))
+}
+
+/// The `/elect` path: adopt or mint the trace, then parse, consult the
+/// cache, or queue for a worker; the root `request` span and the
+/// slow-request log wrap the whole thing.
+fn handle_elect(req: &Request, shared: &Shared, job_tx: &Sender<Job>) -> Response {
     let admitted = Instant::now();
+    let rec = &shared.recorder;
+    let trace_id =
+        req.header("x-trace-id").and_then(TraceId::from_hex).unwrap_or_else(|| rec.mint_trace());
+    let remote_parent =
+        req.header("x-parent-span").and_then(SpanId::from_hex).unwrap_or(SpanId::NONE);
+    let root = rec.next_span_id();
+
+    let resp = elect_response(&req.body, shared, job_tx, trace_id, root, admitted);
+
+    let end = Instant::now();
+    rec.record_span_with_id(
+        root,
+        trace_id,
+        remote_parent,
+        Stage::Request,
+        admitted,
+        end,
+        SpanAttrs { err: resp.status >= 400, root: true, ..Default::default() },
+    );
+    if let Some(threshold) = shared.cfg.slow_threshold {
+        if end.duration_since(admitted) >= threshold {
+            eprintln!(
+                "slow request trace={} {} over {threshold:?}:\n{}",
+                trace_id.to_hex(),
+                trace::fmt_dur_us(end.duration_since(admitted).as_micros() as u64),
+                trace::render_tree(&rec.trace_spans(trace_id)),
+            );
+        }
+    }
+    resp.with_header("x-trace-id", trace_id.to_hex())
+}
+
+/// The traced interior of [`handle_elect`].
+fn elect_response(
+    body: &[u8],
+    shared: &Shared,
+    job_tx: &Sender<Job>,
+    trace_id: TraceId,
+    root: SpanId,
+    admitted: Instant,
+) -> Response {
+    let rec = &shared.recorder;
     let request = match ElectRequest::from_json(body) {
         Ok(r) => r,
         Err(why) => {
@@ -347,7 +474,17 @@ fn handle_elect(body: &[u8], shared: &Shared, job_tx: &Sender<Job>) -> Response 
     let (canon_req, rot) = request.canonicalized();
     let key = CacheKey { canon: canon_req.labels.clone(), algo: canon_req.algo, k: canon_req.k };
 
-    if let Some(cached) = shared.cache.get(&key) {
+    let lookup_start = Instant::now();
+    let cached = shared.cache.get(&key);
+    rec.record_span(
+        trace_id,
+        root,
+        Stage::CacheLookup,
+        lookup_start,
+        Instant::now(),
+        SpanAttrs { a: cached.is_some() as u64, ..Default::default() },
+    );
+    if let Some(cached) = cached {
         let resp = respond(&request, rot, cached, shared, admitted);
         return resp.with_header("x-cache", "HIT".into());
     }
@@ -355,7 +492,15 @@ fn handle_elect(body: &[u8], shared: &Shared, job_tx: &Sender<Job>) -> Response 
     // Miss: hand the canonical request to the worker pool, bounded.
     let (reply_tx, reply_rx) = bounded::<CachedResult>(1);
     let deadline = admitted + shared.cfg.deadline;
-    let job = Job { canon_req, key, deadline, reply: reply_tx };
+    let job = Job {
+        canon_req,
+        key,
+        deadline,
+        reply: reply_tx,
+        trace: trace_id,
+        parent: root,
+        enqueued: Instant::now(),
+    };
     match job_tx.send_timeout(job, Duration::ZERO) {
         Ok(()) => shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed),
         Err(SendTimeoutError::Timeout(_)) => {
@@ -417,6 +562,14 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
             Err(RecvTimeoutError::Disconnected) => return,
         };
         shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared.recorder.record_span(
+            job.trace,
+            job.parent,
+            Stage::QueueWait,
+            job.enqueued,
+            Instant::now(),
+            SpanAttrs::default(),
+        );
         if Instant::now() >= job.deadline {
             // Admitted but nobody can use the answer anymore; the reply
             // sender drops, which the connection thread reports as 504.
@@ -431,7 +584,23 @@ fn worker_loop(shared: &Shared, rx: &Receiver<Job>) {
         let result = match shared.cache.peek(&job.key) {
             Some(hit) => hit,
             None => {
-                let computed = api::run_election(&job.canon_req);
+                // The execute span's id is minted up front so the core
+                // election hook (made current for this thread while the
+                // election runs) can parent its `election` span to it.
+                let exec = shared.recorder.next_span_id();
+                let computed = {
+                    let _span = trace::set_current(&shared.recorder, job.trace, exec);
+                    api::run_election(&job.canon_req)
+                };
+                shared.recorder.record_span_with_id(
+                    exec,
+                    job.trace,
+                    job.parent,
+                    Stage::Execute,
+                    t0,
+                    Instant::now(),
+                    SpanAttrs { err: computed.is_err(), ..Default::default() },
+                );
                 shared.cache.insert(job.key.clone(), computed.clone());
                 computed
             }
@@ -556,6 +725,73 @@ mod tests {
         assert_eq!(r.status, 504, "{}", r.body_text());
         let summary = handle.shutdown();
         assert_eq!(summary.deadline_expired, 1);
+    }
+
+    #[test]
+    fn oversized_body_gets_413_and_keep_alive_survives() {
+        let handle = start(SvcConfig { max_body: 128, ..Default::default() }).expect("start");
+        let mut c = client(&handle);
+        let big = format!(r#"{{"ring":[{}]}}"#, vec!["1"; 200].join(","));
+        assert!(big.len() > 128);
+        let r = c.post_json("/elect", &big).expect("resp");
+        assert_eq!(r.status, 413, "{}", r.body_text());
+        assert!(r.body_text().contains("128 byte limit"), "{}", r.body_text());
+        // The same connection keeps working: the oversized body was
+        // drained, framing intact.
+        let r = c.post_json("/elect", r#"{"ring":[1,2,2]}"#).expect("resp");
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn traces_are_recorded_and_served_as_one_connected_tree() {
+        let handle = start(SvcConfig { workers: 2, ..Default::default() }).expect("start");
+        let mut c = client(&handle);
+        let r = c.post_json("/elect", r#"{"ring":[1,3,1,3,2,2,1,2],"algo":"ak"}"#).expect("elect");
+        assert_eq!(r.status, 200);
+        let trace = r.header("x-trace-id").expect("response carries x-trace-id").to_string();
+
+        let r = c.get(&format!("/trace/{trace}")).expect("trace");
+        assert_eq!(r.status, 200, "{}", r.body_text());
+        let spans = crate::tracewire::spans_from_doc(&r.body_text()).expect("parse");
+        assert!(hre_runtime::trace::is_connected_tree(&spans), "{spans:#?}");
+        let stages: Vec<&str> = spans.iter().map(|s| s.stage.as_str()).collect();
+        for want in ["request", "cache-lookup", "queue-wait", "execute", "election"] {
+            assert!(stages.contains(&want), "missing {want} in {stages:?}");
+        }
+        let election = spans.iter().find(|s| s.stage.as_str() == "election").unwrap();
+        assert!(election.a > 0, "election span carries the message count: {election:?}");
+
+        let r = c.get("/trace/recent").expect("recent");
+        assert_eq!(r.status, 200);
+        let roots = crate::tracewire::recent_from_doc(&r.body_text()).expect("parse");
+        assert!(roots.iter().any(|s| s.trace.to_hex() == trace), "{roots:?}");
+
+        // Unknown and malformed ids answer 404 / 400.
+        assert_eq!(c.get("/trace/00000000000000aa").expect("miss").status, 404);
+        assert_eq!(c.get("/trace/zz").expect("bad").status, 400);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn propagated_trace_headers_are_adopted() {
+        let handle = start(SvcConfig::default()).expect("start");
+        let mut c = client(&handle);
+        let r = c
+            .request_with_headers(
+                "POST",
+                "/elect",
+                &[("x-trace-id", "00000000000abcde"), ("x-parent-span", "0000000000000077")],
+                Some(br#"{"ring":[2,2,1]}"#),
+            )
+            .expect("elect");
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-trace-id"), Some("00000000000abcde"));
+        let recorder = handle.recorder();
+        let spans = recorder.trace_spans(hre_runtime::TraceId(0xabcde));
+        let root = spans.iter().find(|s| s.root).expect("root span recorded");
+        assert_eq!(root.parent, hre_runtime::SpanId(0x77), "remote parent adopted");
+        handle.shutdown();
     }
 
     #[test]

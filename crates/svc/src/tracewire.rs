@@ -1,0 +1,167 @@
+//! JSON wire form of flight-recorder spans.
+//!
+//! Both daemons serve `GET /trace/<id>` and `GET /trace/recent` with
+//! these documents, the cluster router parses them to merge backend
+//! spans into its own trace, and `hre trace` parses them to render the
+//! tree — one encoding, three consumers. Ids travel as 16-digit
+//! lowercase hex strings, matching the `x-trace-id` / `x-parent-span`
+//! header form exactly.
+
+use crate::json::{self, Json};
+use hre_runtime::trace::{SpanId, SpanRecord, Stage, TraceId};
+
+/// One span as a JSON object.
+pub fn span_json(s: &SpanRecord) -> Json {
+    json::obj(vec![
+        ("trace", Json::Str(s.trace.to_hex())),
+        ("id", Json::Str(s.id.to_hex())),
+        ("parent", Json::Str(s.parent.to_hex())),
+        ("stage", Json::Str(s.stage.as_str().into())),
+        ("start_us", Json::Num(s.start_us as i128)),
+        ("dur_us", Json::Num(s.dur_us as i128)),
+        ("a", Json::Num(s.a as i128)),
+        ("b", Json::Num(s.b as i128)),
+        ("err", Json::Bool(s.err)),
+        ("root", Json::Bool(s.root)),
+        ("src", Json::Str(s.src.clone())),
+    ])
+}
+
+/// The `GET /trace/<id>` body: `{"trace": "...", "spans": [...]}`.
+pub fn trace_doc(trace: TraceId, spans: &[SpanRecord]) -> String {
+    json::obj(vec![
+        ("trace", Json::Str(trace.to_hex())),
+        ("spans", Json::Arr(spans.iter().map(span_json).collect())),
+    ])
+    .to_string()
+}
+
+/// The `GET /trace/recent` body: `{"recent": [...]}` — newest-first
+/// root spans, each with `age_us` (how long ago it started on the
+/// serving daemon's clock) appended.
+pub fn recent_doc(roots: &[SpanRecord], now_us: u64) -> String {
+    let entries = roots
+        .iter()
+        .map(|s| {
+            let Json::Obj(mut fields) = span_json(s) else { unreachable!() };
+            fields.push(("age_us".into(), Json::Num(now_us.saturating_sub(s.start_us) as i128)));
+            Json::Obj(fields)
+        })
+        .collect();
+    json::obj(vec![("recent", Json::Arr(entries))]).to_string()
+}
+
+/// Parses one span object (inverse of [`span_json`]; unknown fields
+/// are ignored, `age_us` in particular).
+pub fn span_from_json(v: &Json) -> Result<SpanRecord, String> {
+    let hexfield = |name: &str| -> Result<u64, String> {
+        let s = v.get(name).and_then(Json::as_str).ok_or(format!("span missing {name:?}"))?;
+        // SpanId::from_hex accepts zero; TraceId handled separately.
+        SpanId::from_hex(s).map(|id| id.0).ok_or(format!("bad hex in {name:?}: {s:?}"))
+    };
+    let num = |name: &str| -> Result<u64, String> {
+        v.get(name).and_then(Json::as_u64).ok_or(format!("span missing {name:?}"))
+    };
+    let trace = TraceId(hexfield("trace")?);
+    if trace.0 == 0 {
+        return Err("span has zero trace id".into());
+    }
+    let stage_name =
+        v.get("stage").and_then(Json::as_str).ok_or("span missing \"stage\"".to_string())?;
+    let stage = Stage::from_name(stage_name).ok_or(format!("unknown span stage {stage_name:?}"))?;
+    Ok(SpanRecord {
+        trace,
+        id: SpanId(hexfield("id")?),
+        parent: SpanId(hexfield("parent")?),
+        stage,
+        start_us: num("start_us")?,
+        dur_us: num("dur_us")?,
+        a: num("a")?,
+        b: num("b")?,
+        err: matches!(v.get("err"), Some(Json::Bool(true))),
+        root: matches!(v.get("root"), Some(Json::Bool(true))),
+        src: v.get("src").and_then(Json::as_str).unwrap_or("").to_string(),
+    })
+}
+
+/// Parses a `GET /trace/<id>` body back into its spans.
+pub fn spans_from_doc(body: &str) -> Result<Vec<SpanRecord>, String> {
+    let doc = Json::parse(body).map_err(|e| format!("bad trace JSON: {e}"))?;
+    let arr = doc
+        .get("spans")
+        .and_then(Json::as_arr)
+        .ok_or("trace document has no \"spans\" array".to_string())?;
+    arr.iter().map(span_from_json).collect()
+}
+
+/// Parses a `GET /trace/recent` body back into its root spans.
+pub fn recent_from_doc(body: &str) -> Result<Vec<SpanRecord>, String> {
+    let doc = Json::parse(body).map_err(|e| format!("bad trace JSON: {e}"))?;
+    let arr = doc
+        .get("recent")
+        .and_then(Json::as_arr)
+        .ok_or("recent document has no \"recent\" array".to_string())?;
+    arr.iter().map(span_from_json).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpanRecord {
+        SpanRecord {
+            trace: TraceId(0xabc),
+            id: SpanId(2),
+            parent: SpanId(1),
+            stage: Stage::Attempt,
+            start_us: 10,
+            dur_us: 1500,
+            a: 1,
+            b: 0,
+            err: true,
+            root: false,
+            src: "cluster".into(),
+        }
+    }
+
+    #[test]
+    fn spans_round_trip_through_the_trace_doc() {
+        let spans = vec![
+            SpanRecord {
+                id: SpanId(1),
+                parent: SpanId::NONE,
+                stage: Stage::Request,
+                err: false,
+                root: true,
+                src: String::new(),
+                ..sample()
+            },
+            sample(),
+        ];
+        let body = trace_doc(TraceId(0xabc), &spans);
+        assert!(body.starts_with(r#"{"trace":"0000000000000abc","spans":["#), "{body}");
+        let parsed = spans_from_doc(&body).expect("parse");
+        assert_eq!(parsed, spans);
+    }
+
+    #[test]
+    fn recent_doc_appends_age_and_round_trips() {
+        let s = sample();
+        let body = recent_doc(std::slice::from_ref(&s), 100);
+        assert!(body.contains(r#""age_us":90"#), "{body}");
+        let parsed = recent_from_doc(&body).expect("parse");
+        assert_eq!(parsed, vec![s]);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_reasons() {
+        assert!(spans_from_doc("not json").unwrap_err().contains("bad trace JSON"));
+        assert!(spans_from_doc(r#"{"trace":"1"}"#).unwrap_err().contains("no \"spans\""));
+        let bad_stage = r#"{"spans":[{"trace":"1","id":"1","parent":"0","stage":"warp",
+            "start_us":0,"dur_us":0,"a":0,"b":0}]}"#;
+        assert!(spans_from_doc(bad_stage).unwrap_err().contains("unknown span stage"));
+        let zero_trace = r#"{"spans":[{"trace":"0","id":"1","parent":"0","stage":"request",
+            "start_us":0,"dur_us":0,"a":0,"b":0}]}"#;
+        assert!(spans_from_doc(zero_trace).unwrap_err().contains("zero trace id"));
+    }
+}

@@ -38,13 +38,21 @@ USAGE:
         [--queue-cap Q] [--deadline-ms D]  (defaults: 127.0.0.1:8080, 4 workers,
                                             cache 1024, queue 256, deadline 2000 ms;
                                             drains gracefully on SIGTERM/ctrl-c)
+        [--max-body B]       largest accepted request body in bytes (default 1 MiB)
+        [--trace-cap T]      flight-recorder span capacity; 0 = off (default 4096)
+        [--slow-ms S]        log span trees of requests slower than S ms;
+                             0 disables the slow-request log (default 1000)
   hre bench-svc [--addr A] [--requests N] [--connections C]   load-test a daemon
         [--ring L0,L1,...] [--algo A] [--k K] [--no-rotate]
         [--workers W] [--cache-cap C]      (no --addr: spins up an in-process daemon)
   hre cluster-route --backends A1,A2,...   front a set of daemons with the router
         [--addr A] [--vnodes V] [--hedge-min-ms H] [--failure-threshold F]
+        [--max-body B] [--trace-cap T] [--slow-ms S]   (as for hre serve)
         (defaults: 127.0.0.1:8090, 128 vnodes, hedge floor 30 ms, threshold 3;
          rotation-affinity placement, breaker failover, drains on SIGTERM/ctrl-c)
+  hre trace --addr A [--id HEX]            fetch traces from a live daemon
+        (no --id: list recent root spans; --id: render that trace's span
+         tree — on a router, merged with the backends' spans)
   hre bench-cluster [--addr A] [--requests N] [--connections C]   load-test a cluster
         [--rings W] [--n SIZE] [--no-rotate]
         [--nodes B] [--cache-cap C]        (no --addr: spins up B in-process
@@ -88,6 +96,7 @@ pub fn dispatch(cmd: &str, opts: &Opts) -> Result<String, String> {
         "bench-svc" => bench_svc_cmd(opts),
         "cluster-route" => cluster_route_cmd(opts),
         "bench-cluster" => bench_cluster_cmd(opts),
+        "trace" => trace_cmd(opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -477,6 +486,7 @@ fn verify_cmd(opts: &Opts) -> Result<String, String> {
 }
 
 fn svc_config_from(opts: &Opts, default_addr: &str) -> Result<SvcConfig, String> {
+    let slow_ms = u64_opt(opts, "slow-ms", 1000)?;
     Ok(SvcConfig {
         addr: opts.get("addr").cloned().unwrap_or_else(|| default_addr.into()),
         workers: u64_opt(opts, "workers", 4)? as usize,
@@ -484,6 +494,10 @@ fn svc_config_from(opts: &Opts, default_addr: &str) -> Result<SvcConfig, String>
         cache_shards: u64_opt(opts, "cache-shards", 8)? as usize,
         queue_cap: u64_opt(opts, "queue-cap", 256)? as usize,
         deadline: std::time::Duration::from_millis(u64_opt(opts, "deadline-ms", 2000)?),
+        max_body: u64_opt(opts, "max-body", crate::svc::DEFAULT_MAX_BODY as u64)? as usize,
+        trace_cap: u64_opt(opts, "trace-cap", hre_runtime::trace::DEFAULT_TRACE_CAP as u64)?
+            as usize,
+        slow_threshold: (slow_ms > 0).then(|| std::time::Duration::from_millis(slow_ms)),
     })
 }
 
@@ -508,7 +522,10 @@ fn serve_cmd(opts: &Opts) -> Result<String, String> {
         cfg.queue_cap,
         cfg.deadline.as_millis()
     );
-    println!("POST /elect | GET /healthz | GET /metrics — SIGTERM or ctrl-c drains and exits");
+    println!(
+        "POST /elect | GET /healthz | GET /metrics | GET /trace/recent — \
+         SIGTERM or ctrl-c drains and exits"
+    );
     let _ = std::io::Write::flush(&mut std::io::stdout());
     let summary = handle.run_until(&flag);
     Ok(format!("drained cleanly\n{summary}"))
@@ -584,12 +601,17 @@ fn cluster_route_cmd(opts: &Opts) -> Result<String, String> {
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
         .collect();
+    let slow_ms = u64_opt(opts, "slow-ms", 1000)?;
     let cfg = crate::cluster::ClusterConfig {
         addr: opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:8090".into()),
         backends,
         vnodes: u64_opt(opts, "vnodes", 128)? as usize,
         hedge_min: std::time::Duration::from_millis(u64_opt(opts, "hedge-min-ms", 30)?),
         failure_threshold: u64_opt(opts, "failure-threshold", 3)? as u32,
+        max_body: u64_opt(opts, "max-body", crate::svc::DEFAULT_MAX_BODY as u64)? as usize,
+        trace_cap: u64_opt(opts, "trace-cap", hre_runtime::trace::DEFAULT_TRACE_CAP as u64)?
+            as usize,
+        slow_threshold: (slow_ms > 0).then(|| std::time::Duration::from_millis(slow_ms)),
         ..Default::default()
     };
     let router =
@@ -606,10 +628,81 @@ fn cluster_route_cmd(opts: &Opts) -> Result<String, String> {
         cfg.vnodes,
         cfg.hedge_min.as_millis()
     );
-    println!("POST /elect | GET /healthz | GET /metrics | GET /cluster — SIGTERM or ctrl-c drains");
+    println!(
+        "POST /elect | GET /healthz | GET /metrics | GET /cluster | GET /trace/recent — \
+         SIGTERM or ctrl-c drains"
+    );
     let _ = std::io::Write::flush(&mut std::io::stdout());
     let summary = router.run_until(&flag);
     Ok(format!("drained cleanly\n{summary}"))
+}
+
+/// `hre trace`: fetch traces from a live daemon and render them.
+///
+/// Without `--id`, lists the most recent root spans (newest first) so
+/// an id can be picked; with `--id`, renders that trace's span tree.
+/// Pointing at a cluster router returns the merged view: the router's
+/// own spans joined with every reachable backend's, `src`-tagged.
+fn trace_cmd(opts: &Opts) -> Result<String, String> {
+    use hre_runtime::trace::{fmt_dur_us, render_tree, TraceId};
+    let addr = opts.get("addr").ok_or("--addr is required (a daemon or router address)")?;
+    let mut c = crate::svc::Client::connect(addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match opts.get("id") {
+        Some(id) => {
+            let trace = TraceId::from_hex(id)
+                .ok_or_else(|| format!("bad --id '{id}' (want 16 hex digits, nonzero)"))?;
+            let resp = c
+                .get(&format!("/trace/{}", trace.to_hex()))
+                .map_err(|e| format!("trace fetch failed: {e}"))?;
+            if resp.status == 404 {
+                return Err(format!(
+                    "trace {} not found on {addr} (evicted from the flight recorder, \
+                     or never recorded there)",
+                    trace.to_hex()
+                ));
+            }
+            if resp.status != 200 {
+                return Err(format!(
+                    "trace fetch failed: HTTP {}: {}",
+                    resp.status,
+                    resp.body_text()
+                ));
+            }
+            let spans = crate::svc::tracewire::spans_from_doc(&resp.body_text())?;
+            Ok(format!("trace {} — {} spans\n{}", trace.to_hex(), spans.len(), render_tree(&spans)))
+        }
+        None => {
+            let resp = c.get("/trace/recent").map_err(|e| format!("trace fetch failed: {e}"))?;
+            if resp.status != 200 {
+                return Err(format!(
+                    "trace fetch failed: HTTP {}: {}",
+                    resp.status,
+                    resp.body_text()
+                ));
+            }
+            let roots = crate::svc::tracewire::recent_from_doc(&resp.body_text())?;
+            if roots.is_empty() {
+                return Ok(format!(
+                    "no recent traces on {addr} (tracing off, or no requests yet)\n"
+                ));
+            }
+            let mut out = format!("{} recent trace(s) on {addr}, newest first:\n", roots.len());
+            for r in &roots {
+                let _ = writeln!(
+                    out,
+                    "  {}  {:>9}  {}{}",
+                    r.trace.to_hex(),
+                    fmt_dur_us(r.dur_us),
+                    r.stage.as_str(),
+                    if r.err { "  ERR" } else { "" }
+                );
+            }
+            out.push_str("render one with: hre trace --addr ");
+            let _ = writeln!(out, "{addr} --id <trace>");
+            Ok(out)
+        }
+    }
 }
 
 /// `hre bench-cluster`: closed-loop load against a router — an external
@@ -980,5 +1073,54 @@ mod tests {
     fn cluster_route_requires_backends() {
         let err = run_cli(&["cluster-route"]).unwrap_err();
         assert!(err.contains("--backends is required"), "{err}");
+    }
+
+    #[test]
+    fn trace_lists_recent_and_renders_one_tree() {
+        let handle = crate::svc::start(SvcConfig::default()).expect("daemon");
+        let addr = handle.addr.to_string();
+        let mut c =
+            crate::svc::Client::connect(&addr, std::time::Duration::from_secs(5)).expect("connect");
+        let resp = c.post_json("/elect", r#"{"ring":[1,3,1,3,2,2,1,2],"algo":"ak"}"#).expect("ok");
+        assert_eq!(resp.status, 200);
+        let id = resp.header("x-trace-id").expect("trace id").to_string();
+
+        let listing = run_cli(&["trace", "--addr", &addr]).unwrap();
+        assert!(listing.contains(&id), "{listing}");
+        assert!(listing.contains("request"), "{listing}");
+
+        let tree = run_cli(&["trace", "--addr", &addr, "--id", &id]).unwrap();
+        assert!(tree.contains(&format!("trace {id}")), "{tree}");
+        assert!(tree.contains("execute"), "{tree}");
+        assert!(tree.contains("election"), "{tree}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn trace_rejects_bad_ids_and_requires_addr() {
+        assert!(run_cli(&["trace"]).unwrap_err().contains("--addr is required"));
+        let handle = crate::svc::start(SvcConfig::default()).expect("daemon");
+        let addr = handle.addr.to_string();
+        let err = run_cli(&["trace", "--addr", &addr, "--id", "wat"]).unwrap_err();
+        assert!(err.contains("bad --id"), "{err}");
+        let err = run_cli(&["trace", "--addr", &addr, "--id", "00000000000000aa"]).unwrap_err();
+        assert!(err.contains("not found"), "{err}");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn serve_flags_reach_the_service_config() {
+        let mut opts = Opts::new();
+        opts.insert("max-body".into(), "2048".into());
+        opts.insert("trace-cap".into(), "128".into());
+        opts.insert("slow-ms".into(), "0".into());
+        let cfg = svc_config_from(&opts, "127.0.0.1:0").unwrap();
+        assert_eq!(cfg.max_body, 2048);
+        assert_eq!(cfg.trace_cap, 128);
+        assert_eq!(cfg.slow_threshold, None);
+        let cfg = svc_config_from(&Opts::new(), "127.0.0.1:0").unwrap();
+        assert_eq!(cfg.max_body, crate::svc::DEFAULT_MAX_BODY);
+        assert_eq!(cfg.trace_cap, hre_runtime::trace::DEFAULT_TRACE_CAP);
+        assert_eq!(cfg.slow_threshold, Some(std::time::Duration::from_secs(1)));
     }
 }
