@@ -40,12 +40,18 @@ pub fn report() -> String {
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut all_ok = true;
 
-    for &(n, k) in &[(6usize, 2usize), (8, 2), (8, 4), (16, 2), (16, 4), (24, 3), (32, 4), (48, 4)]
-    {
-        let ring = random_exact_multiplicity(n, k, &mut rng);
+    // Serial ring generation (stable catalog), parallel measurement via
+    // the sweep runner, enumeration-order merge.
+    let grid = [(6usize, 2usize), (8, 2), (8, 4), (16, 2), (16, 4), (24, 3), (32, 4), (48, 4)];
+    let rings: Vec<_> =
+        grid.iter().map(|&(n, k)| (n, k, random_exact_multiplicity(n, k, &mut rng))).collect();
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let measured = hre_sim::sweep_map(&rings, threads, |_, (_, k, ring)| {
+        (measure_bk(ring, *k), reconstruct_phases(ring, *k).leader_phases)
+    });
+    for ((n, k, ring), (m, phases)) in rings.iter().zip(measured) {
+        let (n, k) = (*n, *k);
         let b = ring.label_bits() as u64;
-        let m = measure_bk(&ring, k);
-        let phases = reconstruct_phases(&ring, k).leader_phases;
         let (n64, k64) = (n as u64, k as u64);
         let xb = (k64 + 1) * n64;
         let tb = (k64 + 1) * (k64 + 1) * n64 * n64;

@@ -21,6 +21,7 @@ pub mod e18_net;
 pub mod e19_svc;
 pub mod e20_cluster;
 pub mod e21_trace;
+pub mod e22_perf;
 
 /// Runs every experiment in order and concatenates the reports — the body
 /// of `EXPERIMENTS.md`.
@@ -77,6 +78,10 @@ pub fn all() -> Vec<Experiment> {
         (
             "E21 — end-to-end tracing: recorder overhead and the failover span tree",
             e21_trace::report,
+        ),
+        (
+            "E22 — engine performance: zero-copy messages, pooled links, parallel sweep",
+            e22_perf::report,
         ),
     ]
 }

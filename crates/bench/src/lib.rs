@@ -31,8 +31,10 @@ use hre_ring::RingLabeling;
 use hre_sim::{run, RoundRobinSched, RunMetrics, RunOptions};
 
 /// Applies `f` to every item on a small pool of scoped OS threads and
-/// returns the results in input order. Used by the statistical experiments
-/// to exploit the cores without adding a dependency; panics propagate.
+/// returns the results in input order; panics propagate. A thin wrapper
+/// over [`hre_sim::sweep_map`], which work-steals from a shared cursor
+/// instead of pre-chunking, so one slow item no longer idles a whole
+/// chunk's worth of workers.
 pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -40,22 +42,7 @@ where
     F: Fn(&T) -> R + Sync,
 {
     assert!(threads >= 1);
-    let n = items.len();
-    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let chunk = n.div_ceil(threads.max(1));
-    if chunk == 0 {
-        return Vec::new();
-    }
-    std::thread::scope(|scope| {
-        for (items_chunk, results_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
-            scope.spawn(|| {
-                for (item, slot) in items_chunk.iter().zip(results_chunk.iter_mut()) {
-                    *slot = Some(f(item));
-                }
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    hre_sim::sweep_map(&items, threads, |_, item| f(item))
 }
 
 /// Runs `Ak(k)` on `ring` (round-robin), asserting cleanliness; returns the

@@ -253,6 +253,13 @@ impl RouterHandle {
         Arc::clone(&self.shared.recorder)
     }
 
+    /// Client-facing requests accepted so far — a live progress counter,
+    /// so chaos harnesses can trigger faults *mid-load* instead of after
+    /// a wall-clock sleep that a faster engine silently outruns.
+    pub fn requests_seen(&self) -> u64 {
+        self.shared.metrics.requests.load(Ordering::Relaxed)
+    }
+
     /// The backend address that owns a label sequence (ignoring health)
     /// — the same placement the request path uses.
     pub fn primary_backend(&self, labels: &[u64]) -> &str {

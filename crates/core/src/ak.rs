@@ -23,7 +23,8 @@
 
 use hre_sim::{Algorithm, ElectionState, Outbox, ProcessBehavior, Reaction};
 use hre_words::{is_lyndon, least_rotation, srp, Label};
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The message alphabet of `Ak`: label tokens and the `FINISH` marker.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,11 +81,103 @@ impl Algorithm for Ak {
             id: label,
             k: self.k,
             init: true,
-            string: Vec::new(),
-            counts: BTreeMap::new(),
+            string: PrefixString::Owned(Vec::new()),
+            counts: HashMap::new(),
             max_count: 0,
             determined_leader: None,
             st: ElectionState::INITIAL,
+        }
+    }
+
+    /// Simulator spawn point: the process knows its ring position, so its
+    /// `string` can be a zero-copy `(start, len)` window into the shared
+    /// labeling instead of an owned, growing vector. On fault-free runs
+    /// every received token matches the window's periodic continuation and
+    /// the window never materializes; a diverging token (duplication,
+    /// reordering) falls back to the owned representation transparently.
+    fn spawn_at(&self, ring: &hre_ring::RingLabeling, i: usize) -> AkProc {
+        AkProc {
+            string: PrefixString::Window { ring: ring.labels_shared(), start: i as u32, len: 0 },
+            ..self.spawn(ring.label(i))
+        }
+    }
+}
+
+/// `p.string` — a prefix of `LLabels(p)`, in one of two representations.
+///
+/// The algorithm only ever *appends* received labels, and on a fault-free
+/// ring the sequence of received labels is exactly the counter-clockwise
+/// periodic walk of the ring starting at `p` — fully determined by `p`'s
+/// position. The `Window` form exploits that: it stores a shared handle to
+/// the ring labeling plus `(start, len)` and represents the string without
+/// owning a single label. `push` compares the appended label against the
+/// predicted next letter; equal means `len += 1` (the steady state — O(1),
+/// allocation-free), different means the run is faulty and the string
+/// materializes into the `Owned` form once, then grows conventionally.
+#[derive(Clone)]
+enum PrefixString {
+    /// Prefix of the periodic counter-clockwise walk from `start`:
+    /// element `j` is `ring[(start + n − (j mod n)) mod n]`.
+    Window {
+        /// Shared ring storage (refcount bump to clone).
+        ring: Arc<[Label]>,
+        /// The owning process's position.
+        start: u32,
+        /// Prefix length.
+        len: u32,
+    },
+    /// Explicit storage, used when the ring is unknown (bare `spawn`) or
+    /// after a received token diverged from the window's prediction.
+    Owned(Vec<Label>),
+}
+
+impl PrefixString {
+    fn len(&self) -> usize {
+        match self {
+            PrefixString::Window { len, .. } => *len as usize,
+            PrefixString::Owned(v) => v.len(),
+        }
+    }
+
+    /// Element `j` of the represented string.
+    fn get(&self, j: usize) -> Label {
+        match self {
+            PrefixString::Window { ring, start, .. } => {
+                let n = ring.len();
+                ring[(*start as usize + n - (j % n)) % n]
+            }
+            PrefixString::Owned(v) => v[j],
+        }
+    }
+
+    /// Appends a label: O(1) window growth when it matches the periodic
+    /// prediction, one-time materialization when it does not.
+    fn push(&mut self, x: Label) {
+        match self {
+            PrefixString::Window { ring, start, len } => {
+                let n = ring.len();
+                let predicted = ring[(*start as usize + n - (*len as usize % n)) % n];
+                if x == predicted {
+                    *len += 1;
+                } else {
+                    let s = *start as usize;
+                    let mut v: Vec<Label> =
+                        (0..*len as usize).map(|j| ring[(s + n - (j % n)) % n]).collect();
+                    v.push(x);
+                    *self = PrefixString::Owned(v);
+                }
+            }
+            PrefixString::Owned(v) => v.push(x),
+        }
+    }
+
+    /// Materializes the string (for `srp`/Lyndon analysis, which needs a
+    /// contiguous slice). Called O(1) times per process per run — once when
+    /// the `2k+1` threshold pins the ring, once on `FINISH`.
+    fn to_vec(&self) -> Vec<Label> {
+        match self {
+            PrefixString::Window { len, .. } => (0..*len as usize).map(|j| self.get(j)).collect(),
+            PrefixString::Owned(v) => v.clone(),
         }
     }
 }
@@ -103,9 +196,9 @@ pub struct AkProc {
     /// `p.INIT`.
     init: bool,
     /// `p.string` — the received prefix of `LLabels(p)`.
-    string: Vec<Label>,
+    string: PrefixString,
     /// Incremental occurrence counts over `string` (cache).
-    counts: BTreeMap<Label, usize>,
+    counts: HashMap<Label, usize>,
     /// Largest count in `counts` (cache).
     max_count: usize,
     /// Once the `2k+1` threshold has been reached, the ring is determined
@@ -120,9 +213,11 @@ impl AkProc {
         self.id
     }
 
-    /// Read access to `p.string` (for tests and analyses).
-    pub fn string(&self) -> &[Label] {
-        &self.string
+    /// `p.string`, materialized (for tests and analyses). The live
+    /// representation is usually a zero-copy window into the ring labeling
+    /// (see [`PrefixString`]), so this copies on demand.
+    pub fn string_vec(&self) -> Vec<Label> {
+        self.string.to_vec()
     }
 
     fn push(&mut self, x: Label) {
@@ -146,7 +241,9 @@ impl AkProc {
         if self.max_count < 2 * self.k + 1 {
             return false;
         }
-        let v = is_lyndon(srp(&self.string));
+        // Reached at most once per process: materialize for `srp`.
+        let sigma = self.string.to_vec();
+        let v = is_lyndon(srp(&sigma));
         self.determined_leader = Some(v);
         v
     }
@@ -155,8 +252,9 @@ impl AkProc {
 impl hre_sim::StateKey for AkProc {
     fn state_key(&self) -> String {
         // Exact: the caches are functions of `string`, so the paper
-        // variables alone determine the behavior.
-        format!("{:?}/{}/{:?}/{:?}", self.id, self.init, self.string, self.st)
+        // variables alone determine the behavior. Materialized so the key
+        // is representation-independent (Window vs Owned).
+        format!("{:?}/{}/{:?}/{:?}", self.id, self.init, self.string.to_vec(), self.st)
     }
 }
 
@@ -193,7 +291,8 @@ impl ProcessBehavior for AkProc {
             }
             // A4 — learn the leader's label, forward FINISH, halt.
             (AkMsg::Finish, false) => {
-                let period = srp(&self.string);
+                let sigma = self.string.to_vec();
+                let period = srp(&sigma);
                 debug_assert!(
                     hre_words::is_primitive(period),
                     "on A4 the string determines the (asymmetric) ring"
@@ -383,9 +482,9 @@ mod tests {
             assert!(guard < 1_000_000);
         }
         for i in 0..ring.n() {
-            let s = net.process(i).string();
+            let s = net.process(i).string_vec();
             let expect = ring.llabels(i, s.len());
-            assert_eq!(s, &expect[..], "process {i}");
+            assert_eq!(s, expect, "process {i}");
         }
     }
 

@@ -3,6 +3,7 @@
 use hre_words::{is_lyndon, is_primitive, max_multiplicity, multiplicities, rotate_left, Label};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a labeling could not be constructed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,7 +38,12 @@ impl std::error::Error for RingError {}
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct RingLabeling {
-    labels: Vec<Label>,
+    // Shared, immutable storage: cloning a labeling (the model checker
+    // clones one per explored configuration) and handing windows of it to
+    // processes (Ak's zero-copy prefix strings) are both O(1) refcount
+    // bumps, never label copies. `Arc<[Label]>` compares and hashes by
+    // contents, so the derived impls keep value semantics.
+    labels: Arc<[Label]>,
 }
 
 impl RingLabeling {
@@ -52,7 +58,7 @@ impl RingLabeling {
         if labels.len() < 2 {
             return Err(RingError::TooShort);
         }
-        Ok(RingLabeling { labels })
+        Ok(RingLabeling { labels: labels.into() })
     }
 
     /// Creates a labeling from raw `u64` label values.
@@ -73,6 +79,13 @@ impl RingLabeling {
     /// All labels, in process order `p0 … p(n−1)`.
     pub fn labels(&self) -> &[Label] {
         &self.labels
+    }
+
+    /// A shared handle to the label storage — O(1), no copy. Processes
+    /// that need a long-lived view of the ring (e.g. `Ak`'s windowed
+    /// prefix strings) hold this instead of cloning label vectors.
+    pub fn labels_shared(&self) -> Arc<[Label]> {
+        Arc::clone(&self.labels)
     }
 
     /// `b`: number of bits required to store any label of this ring

@@ -14,23 +14,94 @@
 //!
 //! This is exactly the classical normalization ("the longest message delay
 //! becomes one unit of time") the paper cites from Tel's book.
+//!
+//! # Hot-path design
+//!
+//! The engine is the inner loop of every experiment, so steady-state
+//! stepping is **allocation- and clone-free**:
+//!
+//! * link queues are intrusive lists threaded through a single slab
+//!   [`Pool`] with a free list — consuming a message recycles its node, so
+//!   after warm-up no send or receive touches the allocator;
+//! * messages **move**: from the outbox into the pool on send, out of the
+//!   pool on receive. The engine clones a message only when the fault plan
+//!   duplicates it, when a caller asks for a recorded copy
+//!   ([`Network::fire_with_record`]), or on the rare wedge path;
+//! * the enabled set is maintained **incrementally** as a sorted index list
+//!   ([`Network::enabled_slice`]): each fired action can only change the
+//!   enabledness of the firing process and its right neighbor, so the list
+//!   is patched in place instead of being rebuilt (and reallocated) every
+//!   scheduler step. Keeping it sorted ascending preserves the exact
+//!   scheduling decisions of the pre-optimization engine (see
+//!   [`crate::baseline`]), which rebuilt the set in ascending order.
 
 use crate::faults::FaultPlan;
 use crate::process::{Algorithm, ElectionState, Outbox, ProcessBehavior, Reaction};
 use hre_ring::RingLabeling;
-use std::collections::VecDeque;
 
-/// A message in flight, stamped with its virtual send time.
+/// Sentinel for "no node" in the intrusive link lists.
+const NIL: u32 = u32::MAX;
+
+/// One slab cell: a message in flight (or a free-list hole), stamped with
+/// its virtual send time and threaded onto its link's queue via `next`.
 #[derive(Clone, Debug)]
-struct InFlight<M> {
-    msg: M,
+struct Node<M> {
+    msg: Option<M>,
     send_time: u64,
+    next: u32,
 }
 
-/// The incoming FIFO link of one process.
+/// Slab-backed message pool with free-list recycling. Nodes are allocated
+/// once and reused for the rest of the run.
 #[derive(Clone, Debug)]
-struct Link<M> {
-    queue: VecDeque<InFlight<M>>,
+struct Pool<M> {
+    nodes: Vec<Node<M>>,
+    free: u32,
+}
+
+impl<M> Pool<M> {
+    fn new() -> Self {
+        Pool { nodes: Vec::new(), free: NIL }
+    }
+
+    fn alloc(&mut self, msg: M, send_time: u64) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let node = &mut self.nodes[idx as usize];
+            self.free = node.next;
+            node.msg = Some(msg);
+            node.send_time = send_time;
+            node.next = NIL;
+            idx
+        } else {
+            let idx = u32::try_from(self.nodes.len()).expect("pool of < 2^32 in-flight messages");
+            self.nodes.push(Node { msg: Some(msg), send_time, next: NIL });
+            idx
+        }
+    }
+
+    /// Unlinks nothing (the caller owns the list); takes the message out and
+    /// returns the node to the free list.
+    fn release(&mut self, idx: u32) -> (M, u64) {
+        let node = &mut self.nodes[idx as usize];
+        let msg = node.msg.take().expect("released node holds a message");
+        let send_time = node.send_time;
+        node.next = self.free;
+        self.free = idx;
+        (msg, send_time)
+    }
+
+    fn msg(&self, idx: u32) -> &M {
+        self.nodes[idx as usize].msg.as_ref().expect("live node holds a message")
+    }
+}
+
+/// The incoming FIFO link of one process: an intrusive list of pool nodes.
+#[derive(Clone, Copy, Debug)]
+struct Link {
+    head: u32,
+    tail: u32,
+    len: u32,
     /// Delivery time of the last message received on this link (FIFO links
     /// deliver in non-decreasing virtual time).
     last_delivery: u64,
@@ -40,9 +111,45 @@ struct Link<M> {
     delay: u64,
 }
 
-impl<M> Link<M> {
+impl Link {
     fn new() -> Self {
-        Link { queue: VecDeque::new(), last_delivery: 0, delay: 1 }
+        Link { head: NIL, tail: NIL, len: 0, last_delivery: 0, delay: 1 }
+    }
+
+    fn push_back<M>(&mut self, pool: &mut Pool<M>, idx: u32) {
+        if self.tail == NIL {
+            self.head = idx;
+        } else {
+            pool.nodes[self.tail as usize].next = idx;
+        }
+        self.tail = idx;
+        self.len += 1;
+    }
+
+    /// Pops the head node index (the caller releases it to the pool).
+    fn pop_front<M>(&mut self, pool: &Pool<M>) -> u32 {
+        let idx = self.head;
+        debug_assert!(idx != NIL, "pop on empty link");
+        self.head = pool.nodes[idx as usize].next;
+        if self.head == NIL {
+            self.tail = NIL;
+        }
+        self.len -= 1;
+        idx
+    }
+
+    /// Swaps the payloads of the last two queued messages (FIFO-violation
+    /// fault). O(len) walk to find the tail's predecessor — fault runs only.
+    fn swap_last_two<M>(&self, pool: &mut Pool<M>) {
+        debug_assert!(self.len >= 2);
+        let mut prev = self.head;
+        while pool.nodes[prev as usize].next != self.tail {
+            prev = pool.nodes[prev as usize].next;
+        }
+        let (lo, hi) = (prev.min(self.tail) as usize, prev.max(self.tail) as usize);
+        let (a, b) = pool.nodes.split_at_mut(hi);
+        std::mem::swap(&mut a[lo].msg, &mut b[0].msg);
+        std::mem::swap(&mut a[lo].send_time, &mut b[0].send_time);
     }
 }
 
@@ -87,36 +194,59 @@ impl<P: ProcessBehavior + Clone> Clone for Slot<P> {
     }
 }
 
+/// The network-wide counters, accumulated in place as actions fire and
+/// exposed as one borrowed snapshot via [`Network::counters`] — no
+/// per-step re-collection.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetCounters {
+    /// Total messages sent so far.
+    pub total_sent: u64,
+    /// Total bits put on the wire so far.
+    pub total_wire_bits: u64,
+    /// Total atomic actions fired so far.
+    pub actions_fired: u64,
+    /// Largest single-link queue length observed so far.
+    pub peak_link_occupancy: usize,
+    /// Largest per-process space (bits) observed so far.
+    pub peak_space_bits: u64,
+}
+
 /// The ring network: `n` processes and `n` FIFO links.
 ///
 /// Link `i` is the incoming link of process `i` (i.e. the link from
 /// `p(i−1)` to `p(i)`).
 pub struct Network<P: ProcessBehavior> {
     slots: Vec<Slot<P>>,
-    links: Vec<Link<P::Msg>>,
-    total_sent: u64,
-    total_wire_bits: u64,
-    actions_fired: u64,
-    peak_link_occupancy: usize,
-    peak_space_bits: u64,
+    links: Vec<Link>,
+    pool: Pool<P::Msg>,
+    /// Sorted indices of the currently-enabled processes, patched
+    /// incrementally after every fire.
+    enabled_list: Vec<usize>,
+    counters: NetCounters,
     label_bits: u32,
     faults: FaultPlan,
     /// How many clock ticks make one of the paper's time units (the
     /// longest link delay). 1 unless heterogeneous delays are configured.
     delay_scale: u64,
+    /// Reusable outbox: its buffer is lent to each firing action and taken
+    /// back after dispatch, so sends stop allocating once warm.
+    scratch: Outbox<P::Msg>,
 }
 
 impl<P: ProcessBehavior> Network<P> {
     /// Builds the initial configuration: every process in its initial state
     /// (`on_start` not yet fired), all links empty.
+    ///
+    /// Processes are spawned via [`Algorithm::spawn_at`], so algorithms that
+    /// can share the ring labeling (zero-copy state) do.
     pub fn new<A>(algo: &A, ring: &RingLabeling) -> Self
     where
         A: Algorithm<Proc = P>,
     {
         let n = ring.n();
-        let slots = (0..n)
+        let slots: Vec<Slot<P>> = (0..n)
             .map(|i| Slot {
-                proc: algo.spawn(ring.label(i)),
+                proc: algo.spawn_at(ring, i),
                 started: false,
                 clock: 0,
                 wedged: false,
@@ -128,17 +258,19 @@ impl<P: ProcessBehavior> Network<P> {
         let mut net = Network {
             slots,
             links,
-            total_sent: 0,
-            total_wire_bits: 0,
-            actions_fired: 0,
-            peak_link_occupancy: 0,
-            peak_space_bits: 0,
+            pool: Pool::new(),
+            enabled_list: Vec::with_capacity(n),
+            counters: NetCounters::default(),
             label_bits: ring.label_bits(),
             faults: FaultPlan::none(),
             delay_scale: 1,
+            scratch: Outbox::new(),
         };
         for i in 0..n {
             net.note_space(i);
+            if net.enabled(i) {
+                net.enabled_list.push(i);
+            }
         }
         net
     }
@@ -157,7 +289,7 @@ impl<P: ProcessBehavior> Network<P> {
     pub fn set_link_delays(&mut self, delays: &[u64]) {
         assert_eq!(delays.len(), self.n(), "one delay per link");
         assert!(delays.iter().all(|&d| d >= 1), "delays are at least one tick");
-        assert_eq!(self.actions_fired, 0, "configure delays before running");
+        assert_eq!(self.counters.actions_fired, 0, "configure delays before running");
         for (link, &d) in self.links.iter_mut().zip(delays) {
             link.delay = d;
         }
@@ -180,7 +312,8 @@ impl<P: ProcessBehavior> Network<P> {
         self.slots[i].proc.election()
     }
 
-    /// All election states, in process order.
+    /// All election states, in process order (allocates; the run loop uses
+    /// [`Self::election`] per fired process instead).
     pub fn elections(&self) -> Vec<ElectionState> {
         self.slots.iter().map(|s| s.proc.election()).collect()
     }
@@ -198,20 +331,25 @@ impl<P: ProcessBehavior> Network<P> {
         ticks.div_ceil(self.delay_scale)
     }
 
+    /// The accumulated network-wide counters, as one borrowed snapshot.
+    pub fn counters(&self) -> &NetCounters {
+        &self.counters
+    }
+
     /// Total messages sent so far.
     pub fn total_sent(&self) -> u64 {
-        self.total_sent
+        self.counters.total_sent
     }
 
     /// Total bits put on the wire so far (per-message sizes from
     /// [`ProcessBehavior::msg_wire_bits`]).
     pub fn total_wire_bits(&self) -> u64 {
-        self.total_wire_bits
+        self.counters.total_wire_bits
     }
 
     /// Total atomic actions fired so far.
     pub fn actions_fired(&self) -> u64 {
-        self.actions_fired
+        self.counters.actions_fired
     }
 
     /// Messages sent by process `i` so far.
@@ -226,24 +364,30 @@ impl<P: ProcessBehavior> Network<P> {
 
     /// Messages currently in flight (sum of link queue lengths).
     pub fn in_flight(&self) -> usize {
-        self.links.iter().map(|l| l.queue.len()).sum()
+        self.links.iter().map(|l| l.len as usize).sum()
     }
 
     /// Largest single-link queue length observed so far.
     pub fn peak_link_occupancy(&self) -> usize {
-        self.peak_link_occupancy
+        self.counters.peak_link_occupancy
     }
 
     /// Largest per-process space (bits) observed so far, per the
     /// algorithm's own accounting.
     pub fn peak_space_bits(&self) -> u64 {
-        self.peak_space_bits
+        self.counters.peak_space_bits
     }
 
     /// Contents of the incoming link of process `i`, oldest first (for
     /// tests and observers).
     pub fn link_contents(&self, i: usize) -> Vec<P::Msg> {
-        self.links[i].queue.iter().map(|f| f.msg.clone()).collect()
+        let mut out = Vec::with_capacity(self.links[i].len as usize);
+        let mut idx = self.links[i].head;
+        while idx != NIL {
+            out.push(self.pool.msg(idx).clone());
+            idx = self.pool.nodes[idx as usize].next;
+        }
+        out
     }
 
     /// Is process `i` enabled? Either its initial action has not fired, or
@@ -256,21 +400,45 @@ impl<P: ProcessBehavior> Network<P> {
         if !s.started {
             return true;
         }
-        !s.wedged && !self.links[i].queue.is_empty()
+        !s.wedged && self.links[i].len > 0
     }
 
-    /// Indices of all enabled processes.
+    /// Sorted indices of all enabled processes — a borrowed view of the
+    /// incrementally-maintained list (no allocation).
+    pub fn enabled_slice(&self) -> &[usize] {
+        &self.enabled_list
+    }
+
+    /// Indices of all enabled processes (allocating compatibility wrapper
+    /// around [`Self::enabled_slice`]).
     pub fn enabled_set(&self) -> Vec<usize> {
-        (0..self.n()).filter(|&i| self.enabled(i)).collect()
+        self.enabled_list.clone()
+    }
+
+    /// Re-derives `enabled(i)` and patches the sorted enabled list.
+    fn refresh_enabled(&mut self, i: usize) {
+        let now = self.enabled(i);
+        match self.enabled_list.binary_search(&i) {
+            Ok(pos) => {
+                if !now {
+                    self.enabled_list.remove(pos);
+                }
+            }
+            Err(pos) => {
+                if now {
+                    self.enabled_list.insert(pos, i);
+                }
+            }
+        }
     }
 
     /// If no process is enabled, classify the terminal configuration.
     pub fn terminal_kind(&self) -> Option<TerminalKind> {
-        if self.slots.iter().enumerate().any(|(i, _)| self.enabled(i)) {
+        if !self.enabled_list.is_empty() {
             return None;
         }
-        let any_pending_at_live = (0..self.n())
-            .any(|i| !self.links[i].queue.is_empty() && !self.slots[i].proc.election().halted);
+        let any_pending_at_live =
+            (0..self.n()).any(|i| self.links[i].len > 0 && !self.slots[i].proc.election().halted);
         if any_pending_at_live {
             return Some(TerminalKind::Deadlock);
         }
@@ -290,80 +458,116 @@ impl<P: ProcessBehavior> Network<P> {
     ///
     /// The caller (scheduler driver) is responsible for fairness.
     pub fn fire(&mut self, i: usize) -> Option<Fired<P::Msg>> {
+        self.fire_with_record(i, None)
+    }
+
+    /// Like [`Self::fire`], but when `record` is given, clones every sent
+    /// message into it (in send order, dropped-by-fault messages included) —
+    /// the tracing path. With `record = None` the benign path performs no
+    /// message clones at all.
+    pub fn fire_with_record(
+        &mut self,
+        i: usize,
+        record: Option<&mut Vec<P::Msg>>,
+    ) -> Option<Fired<P::Msg>> {
         if !self.enabled(i) {
             return None;
         }
+        let n = self.n();
         if !self.slots[i].started {
-            let mut out = Outbox::new();
+            let mut out = std::mem::take(&mut self.scratch);
             self.slots[i].proc.on_start(&mut out);
             self.slots[i].started = true;
-            self.actions_fired += 1;
-            let sent = self.dispatch(i, out);
+            self.counters.actions_fired += 1;
+            let sent = self.dispatch(i, &mut out, record);
+            self.scratch = out;
             self.note_space(i);
+            self.refresh_enabled(i);
+            self.refresh_enabled((i + 1) % n);
             return Some(Fired::Started { sent });
         }
-        // Offer the head message.
-        let head = self.links[i].queue.front().expect("enabled implies head present").clone();
-        let mut out = Outbox::new();
-        let reaction = self.slots[i].proc.on_msg(&head.msg, &mut out);
+        // Offer the head message in place (no clone).
+        let head_idx = self.links[i].head;
+        let mut out = std::mem::take(&mut self.scratch);
+        let reaction = {
+            let Network { slots, pool, .. } = self;
+            slots[i].proc.on_msg(pool.msg(head_idx), &mut out)
+        };
         match reaction {
             Reaction::Consumed => {
-                let inflight = self.links[i].queue.pop_front().expect("head present");
-                let delivery =
-                    (inflight.send_time + self.links[i].delay).max(self.links[i].last_delivery);
+                let idx = self.links[i].pop_front(&self.pool);
+                debug_assert_eq!(idx, head_idx);
+                let (msg, send_time) = self.pool.release(idx);
+                let delivery = (send_time + self.links[i].delay).max(self.links[i].last_delivery);
                 self.links[i].last_delivery = delivery;
                 let s = &mut self.slots[i];
                 s.clock = s.clock.max(delivery);
                 s.received += 1;
-                self.actions_fired += 1;
-                let sent = self.dispatch(i, out);
+                self.counters.actions_fired += 1;
+                let sent = self.dispatch(i, &mut out, record);
+                self.scratch = out;
                 self.note_space(i);
-                Some(Fired::Received { msg: inflight.msg, sent })
+                self.refresh_enabled(i);
+                self.refresh_enabled((i + 1) % n);
+                Some(Fired::Received { msg, sent })
             }
             Reaction::Ignored => {
                 assert!(out.is_empty(), "an action that does not fire must not send messages");
+                self.scratch = out;
                 self.slots[i].wedged = true;
-                Some(Fired::Wedged { head: head.msg })
+                self.refresh_enabled(i);
+                Some(Fired::Wedged { head: self.pool.msg(head_idx).clone() })
             }
         }
     }
 
-    /// Appends the action's sends to the outgoing link of `i` (the incoming
+    /// Moves the action's sends to the outgoing link of `i` (the incoming
     /// link of `i+1`), stamped with `i`'s clock, applying the fault plan
-    /// (benign by default: reliable FIFO exactly-once).
-    fn dispatch(&mut self, i: usize, out: Outbox<P::Msg>) -> Vec<P::Msg> {
-        let n = self.n();
+    /// (benign by default: reliable FIFO exactly-once). Returns how many
+    /// messages the action sent.
+    fn dispatch(
+        &mut self,
+        i: usize,
+        out: &mut Outbox<P::Msg>,
+        mut record: Option<&mut Vec<P::Msg>>,
+    ) -> u32 {
+        let n = self.slots.len();
         let now = self.slots[i].clock;
-        let msgs = out.into_msgs();
-        let mut wire = 0u64;
-        for m in &msgs {
-            wire += self.slots[i].proc.msg_wire_bits(m, self.label_bits);
+        let count = out.len() as u32;
+        let Network { slots, links, pool, counters, faults, label_bits, .. } = self;
+        {
+            let proc = &slots[i].proc;
+            let link = &mut links[(i + 1) % n];
+            for m in out.drain_msgs() {
+                counters.total_wire_bits += proc.msg_wire_bits(&m, *label_bits);
+                if let Some(rec) = record.as_deref_mut() {
+                    rec.push(m.clone());
+                }
+                let fate = faults.decide();
+                if fate.drop {
+                    continue;
+                }
+                let dup = fate.duplicate.then(|| m.clone());
+                let idx = pool.alloc(m, now);
+                link.push_back(pool, idx);
+                if let Some(d) = dup {
+                    let idx2 = pool.alloc(d, now);
+                    link.push_back(pool, idx2);
+                }
+                if fate.swap_with_previous && link.len >= 2 {
+                    link.swap_last_two(pool);
+                }
+            }
+            counters.peak_link_occupancy = counters.peak_link_occupancy.max(link.len as usize);
         }
-        self.total_wire_bits += wire;
-        let link = &mut self.links[(i + 1) % n];
-        for m in &msgs {
-            let fate = self.faults.decide();
-            if fate.drop {
-                continue;
-            }
-            link.queue.push_back(InFlight { msg: m.clone(), send_time: now });
-            if fate.duplicate {
-                link.queue.push_back(InFlight { msg: m.clone(), send_time: now });
-            }
-            if fate.swap_with_previous && link.queue.len() >= 2 {
-                let len = link.queue.len();
-                link.queue.swap(len - 1, len - 2);
-            }
-        }
-        self.peak_link_occupancy = self.peak_link_occupancy.max(link.queue.len());
-        self.slots[i].sent += msgs.len() as u64;
-        self.total_sent += msgs.len() as u64;
-        msgs
+        slots[i].sent += count as u64;
+        counters.total_sent += count as u64;
+        count
     }
 
     fn note_space(&mut self, i: usize) {
         let bits = self.slots[i].proc.space_bits(self.label_bits);
-        self.peak_space_bits = self.peak_space_bits.max(bits);
+        self.counters.peak_space_bits = self.counters.peak_space_bits.max(bits);
     }
 }
 
@@ -372,32 +576,33 @@ impl<P: ProcessBehavior + Clone> Clone for Network<P> {
         Network {
             slots: self.slots.clone(),
             links: self.links.clone(),
-            total_sent: self.total_sent,
-            total_wire_bits: self.total_wire_bits,
-            actions_fired: self.actions_fired,
-            peak_link_occupancy: self.peak_link_occupancy,
-            peak_space_bits: self.peak_space_bits,
+            pool: self.pool.clone(),
+            enabled_list: self.enabled_list.clone(),
+            counters: self.counters,
             label_bits: self.label_bits,
             faults: self.faults.clone(),
             delay_scale: self.delay_scale,
+            scratch: Outbox::new(),
         }
     }
 }
 
-/// Result of firing one action.
+/// Result of firing one action. Sent messages are reported by **count**;
+/// callers that need the messages themselves (tracing) pass a record buffer
+/// to [`Network::fire_with_record`].
 #[derive(Clone, Debug)]
 pub enum Fired<M> {
-    /// The initial action ran; `sent` lists the messages it sent.
+    /// The initial action ran.
     Started {
-        /// Messages sent by the initial action.
-        sent: Vec<M>,
+        /// How many messages the initial action sent.
+        sent: u32,
     },
-    /// A receive action ran on `msg`; `sent` lists the messages it sent.
+    /// A receive action ran on `msg` (moved out of the link, not cloned).
     Received {
         /// The consumed head message.
         msg: M,
-        /// Messages sent by the action.
-        sent: Vec<M>,
+        /// How many messages the action sent.
+        sent: u32,
     },
     /// The process ignored its head message and is now permanently disabled.
     Wedged {
@@ -469,7 +674,7 @@ mod tests {
 
     fn drive<P: ProcessBehavior>(net: &mut Network<P>) {
         let mut guard = 0;
-        while let Some(&i) = net.enabled_set().first() {
+        while let Some(&i) = net.enabled_slice().first() {
             net.fire(i);
             guard += 1;
             assert!(guard < 100_000, "runaway");
@@ -589,5 +794,160 @@ mod tests {
         net.fire(1);
         assert_eq!(net.terminal_kind(), Some(TerminalKind::AllHalted));
         assert!(net.fire(0).is_none());
+    }
+
+    #[test]
+    fn enabled_slice_matches_recomputation_throughout() {
+        // Fire in an arbitrary (but deterministic) pattern and check the
+        // incrementally-patched list against brute-force recomputation
+        // after every action.
+        let ring = RingLabeling::from_raw(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let mut net = Network::new(&Toy { n: 8 }, &ring);
+        let mut turn = 0usize;
+        loop {
+            let en = net.enabled_slice().to_vec();
+            if en.is_empty() {
+                break;
+            }
+            let brute: Vec<usize> = (0..net.n()).filter(|&i| net.enabled(i)).collect();
+            assert_eq!(en, brute, "incremental enabled list diverged");
+            net.fire(en[turn % en.len()]);
+            turn += 1;
+        }
+        let brute: Vec<usize> = (0..net.n()).filter(|&i| net.enabled(i)).collect();
+        assert!(brute.is_empty());
+    }
+
+    #[test]
+    fn pool_recycles_nodes_in_steady_state() {
+        // Toy keeps at most `n` messages in flight; the slab must stay at
+        // the high-water mark of concurrent in-flight messages instead of
+        // growing with total sends.
+        let ring = RingLabeling::from_raw(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let mut net = Network::new(&Toy { n: 8 }, &ring);
+        drive(&mut net);
+        assert!(net.total_sent() > net.pool.nodes.len() as u64, "nodes were recycled");
+        assert!(
+            net.pool.nodes.len() <= net.counters.peak_link_occupancy * net.n(),
+            "slab bounded by peak in-flight: {} nodes vs peak {} per link",
+            net.pool.nodes.len(),
+            net.counters.peak_link_occupancy
+        );
+    }
+
+    // --- clone accounting (the former send path cloned every message once,
+    // twice under a duplicate fault) -------------------------------------
+
+    thread_local! {
+        static CLONES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    }
+
+    /// A label wrapper whose `Clone` impl counts — a probe for engine-level
+    /// copies.
+    #[derive(Debug, PartialEq, Eq)]
+    struct ProbeMsg(Label);
+
+    impl Clone for ProbeMsg {
+        fn clone(&self) -> Self {
+            CLONES.with(|c| c.set(c.get() + 1));
+            ProbeMsg(self.0)
+        }
+    }
+
+    struct ProbeToy {
+        n: usize,
+    }
+    struct ProbeProc {
+        inner: ToyProc,
+    }
+    impl Algorithm for ProbeToy {
+        type Proc = ProbeProc;
+        fn name(&self) -> String {
+            "ProbeToy".into()
+        }
+        fn spawn(&self, label: Label) -> ProbeProc {
+            ProbeProc { inner: Toy { n: self.n }.spawn(label) }
+        }
+    }
+    impl ProcessBehavior for ProbeProc {
+        type Msg = ProbeMsg;
+        fn on_start(&mut self, out: &mut Outbox<ProbeMsg>) {
+            let mut inner_out = Outbox::new();
+            self.inner.on_start(&mut inner_out);
+            for l in inner_out.into_msgs() {
+                out.send(ProbeMsg(l));
+            }
+        }
+        fn on_msg(&mut self, msg: &ProbeMsg, out: &mut Outbox<ProbeMsg>) -> Reaction {
+            let mut inner_out = Outbox::new();
+            let r = self.inner.on_msg(&msg.0, &mut inner_out);
+            for l in inner_out.into_msgs() {
+                out.send(ProbeMsg(l));
+            }
+            r
+        }
+        fn election(&self) -> ElectionState {
+            self.inner.election()
+        }
+        fn space_bits(&self, b: u32) -> u64 {
+            self.inner.space_bits(b)
+        }
+    }
+
+    fn count_clones(f: impl FnOnce()) -> u64 {
+        CLONES.with(|c| c.set(0));
+        f();
+        CLONES.with(|c| c.get())
+    }
+
+    #[test]
+    fn benign_run_clones_no_messages() {
+        let ring = RingLabeling::from_raw(&[3, 1, 4, 1, 5]);
+        let clones = count_clones(|| {
+            let mut net = Network::new(&ProbeToy { n: 5 }, &ring);
+            drive(&mut net);
+            assert_eq!(net.terminal_kind(), Some(TerminalKind::AllHalted));
+        });
+        assert_eq!(clones, 0, "the benign path must move messages, not clone them");
+    }
+
+    #[test]
+    fn duplicate_fault_clones_exactly_the_duplicates() {
+        use crate::faults::{FaultPlan, LinkFault};
+        let ring = RingLabeling::from_raw(&[3, 1, 4, 1, 5]);
+        let clones = count_clones(|| {
+            let mut net = Network::new(&ProbeToy { n: 5 }, &ring);
+            net.set_fault_plan(FaultPlan::single(LinkFault::DuplicateEveryNth(3)));
+            let mut guard = 0;
+            while let Some(&i) = net.enabled_slice().first() {
+                net.fire(i);
+                guard += 1;
+                assert!(guard < 100_000, "runaway");
+            }
+            // every 3rd send was duplicated — one clone per duplicate
+            assert_eq!(CLONES.with(|c| c.get()), net.total_sent() / 3);
+        });
+        assert!(clones > 0);
+    }
+
+    #[test]
+    fn recording_clones_once_per_sent_message() {
+        let ring = RingLabeling::from_raw(&[3, 1, 4, 1, 5]);
+        let clones = count_clones(|| {
+            let mut net = Network::new(&ProbeToy { n: 5 }, &ring);
+            let mut buf = Vec::new();
+            let mut recorded = 0u64;
+            let mut guard = 0;
+            while let Some(&i) = net.enabled_slice().first() {
+                buf.clear();
+                net.fire_with_record(i, Some(&mut buf));
+                recorded += buf.len() as u64;
+                guard += 1;
+                assert!(guard < 100_000, "runaway");
+            }
+            assert_eq!(recorded, net.total_sent());
+            assert_eq!(CLONES.with(|c| c.get()), recorded);
+        });
+        assert!(clones > 0);
     }
 }

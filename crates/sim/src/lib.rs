@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod engine;
 pub mod explore;
 pub mod faults;
@@ -34,9 +35,10 @@ pub mod process;
 pub mod run;
 pub mod sched;
 pub mod spec;
+pub mod sweep;
 pub mod trace;
 
-pub use engine::{Network, TerminalKind};
+pub use engine::{NetCounters, Network, TerminalKind};
 pub use explore::{explore, ExploreReport, StateKey};
 pub use faults::{FaultPlan, LinkFault};
 pub use metrics::RunMetrics;
@@ -49,4 +51,5 @@ pub use sched::{
     AdversarialSched, Adversary, RandomSched, RoundRobinSched, Scheduler, Selection, SyncSched,
 };
 pub use spec::{SpecMonitor, SpecViolation};
+pub use sweep::{item_seed, sweep_map, sweep_runs, sweep_runs_seeded};
 pub use trace::{ActionEvent, EventKind, Trace};

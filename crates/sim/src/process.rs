@@ -82,6 +82,13 @@ impl<M> Outbox<M> {
     pub fn into_msgs(self) -> Vec<M> {
         self.msgs
     }
+
+    /// Drains the buffered messages in place, keeping the allocation — the
+    /// engine lends one outbox to every action and reuses its buffer, so
+    /// steady-state sends don't allocate.
+    pub(crate) fn drain_msgs(&mut self) -> std::vec::Drain<'_, M> {
+        self.msgs.drain(..)
+    }
 }
 
 impl<M> Default for Outbox<M> {
@@ -133,6 +140,17 @@ pub trait Algorithm {
 
     /// Builds the local algorithm of a process labeled `label`.
     fn spawn(&self, label: Label) -> Self::Proc;
+
+    /// Builds the local algorithm of process `i` of `ring`.
+    ///
+    /// Semantically identical to `spawn(ring.label(i))` — a process still
+    /// knows nothing beyond its own label — but the richer signature lets
+    /// an implementation share the ring's label storage for zero-copy local
+    /// state (`Ak` represents its growing `string` as a window into the
+    /// shared labeling). The default forwards to [`Self::spawn`].
+    fn spawn_at(&self, ring: &hre_ring::RingLabeling, i: usize) -> Self::Proc {
+        self.spawn(ring.label(i))
+    }
 }
 
 #[cfg(test)]

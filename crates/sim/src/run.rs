@@ -97,6 +97,14 @@ pub fn satisfies_message_terminating<M>(rep: &RunReport<M>) -> bool {
 pub trait Observer<P: ProcessBehavior> {
     /// Called after each event, before the next scheduling decision.
     fn after_event(&mut self, net: &Network<P>, event: &ActionEvent<P::Msg>);
+
+    /// Whether this observer actually reads the events. The default is
+    /// `true`; [`NullObserver`] returns `false`, which lets the driver skip
+    /// materializing [`ActionEvent`]s (and the per-action message clones
+    /// they imply) on the hot path.
+    fn wants_events(&self) -> bool {
+        true
+    }
 }
 
 /// The no-op observer.
@@ -104,6 +112,10 @@ pub struct NullObserver;
 
 impl<P: ProcessBehavior> Observer<P> for NullObserver {
     fn after_event(&mut self, _net: &Network<P>, _event: &ActionEvent<P::Msg>) {}
+
+    fn wants_events(&self) -> bool {
+        false
+    }
 }
 
 /// Runs `algo` on `ring` under `sched` with default observation.
@@ -193,35 +205,51 @@ where
 {
     let mut monitor = SpecMonitor::new(net.elections());
     let mut trace = opts.record_trace.then(Trace::new);
+    // The fast path skips event materialization entirely; it is taken when
+    // nobody will read the events.
+    let needs_events = opts.record_trace || obs.wants_events();
     let mut steps: u64 = 0;
     let mut seq: u64 = 0;
     let mut budget_exhausted = false;
     let mut stopped_on_violation = false;
+    // Reusable snapshot of the enabled set for synchronous steps (the live
+    // list mutates as processes fire).
+    let mut all_buf: Vec<usize> = Vec::new();
 
     loop {
         if opts.stop_on_violation && !monitor.violations().is_empty() {
             stopped_on_violation = true;
             break;
         }
-        let enabled = net.enabled_set();
-        if enabled.is_empty() {
+        if net.enabled_slice().is_empty() {
             break;
         }
         if net.actions_fired() >= opts.max_actions {
             budget_exhausted = true;
             break;
         }
-        let selection = sched.select(&enabled);
+        let selection = sched.select(net.enabled_slice());
         steps += 1;
         match selection {
             Selection::All => {
-                for &i in &enabled {
-                    fire_one(&mut net, i, steps, &mut seq, &mut monitor, &mut trace, obs);
+                all_buf.clear();
+                all_buf.extend_from_slice(net.enabled_slice());
+                for &i in &all_buf {
+                    fire_one(
+                        &mut net,
+                        i,
+                        steps,
+                        &mut seq,
+                        &mut monitor,
+                        &mut trace,
+                        obs,
+                        needs_events,
+                    );
                 }
             }
             Selection::One(i) => {
-                assert!(enabled.contains(&i), "scheduler picked a disabled process");
-                fire_one(&mut net, i, steps, &mut seq, &mut monitor, &mut trace, obs);
+                assert!(net.enabled(i), "scheduler picked a disabled process");
+                fire_one(&mut net, i, steps, &mut seq, &mut monitor, &mut trace, obs, needs_events);
             }
         }
     }
@@ -270,6 +298,7 @@ where
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn fire_one<P, O>(
     net: &mut Network<P>,
     i: usize,
@@ -278,19 +307,29 @@ fn fire_one<P, O>(
     monitor: &mut SpecMonitor,
     trace: &mut Option<Trace<P::Msg>>,
     obs: &mut O,
+    needs_events: bool,
 ) where
     P: ProcessBehavior,
     O: Observer<P>,
 {
-    let Some(fired) = net.fire(i) else { return };
-    let (kind, sent) = match fired {
-        Fired::Started { sent } => (EventKind::Start, sent),
-        Fired::Received { msg, sent } => (EventKind::Receive(msg), sent),
-        Fired::Wedged { head } => (EventKind::Wedge(head), Vec::new()),
+    if !needs_events {
+        // Hot path: no event construction, no sent-message clones, O(1)
+        // incremental spec check of the one process that acted.
+        if net.fire(i).is_some() {
+            monitor.observe_one(i, net.election(i));
+        }
+        return;
+    }
+    let mut sent: Vec<P::Msg> = Vec::new();
+    let Some(fired) = net.fire_with_record(i, Some(&mut sent)) else { return };
+    let kind = match fired {
+        Fired::Started { .. } => EventKind::Start,
+        Fired::Received { msg, .. } => EventKind::Receive(msg),
+        Fired::Wedged { head } => EventKind::Wedge(head),
     };
     let event = ActionEvent { seq: *seq, step, pid: i, kind, sent, clock: net.clock(i) };
     *seq += 1;
-    monitor.observe(&net.elections());
+    monitor.observe_one(i, net.election(i));
     obs.after_event(net, &event);
     if let Some(t) = trace.as_mut() {
         t.push(event);

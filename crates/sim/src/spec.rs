@@ -89,16 +89,32 @@ impl fmt::Display for SpecViolation {
 }
 
 /// Monitors a sequence of configurations for specification violations.
+///
+/// Two observation APIs share the same checks:
+///
+/// * [`SpecMonitor::observe`] — diff a full configuration snapshot (the
+///   pre-optimization driver, kept for [`crate::baseline`]);
+/// * [`SpecMonitor::observe_one`] — an atomic action changed exactly one
+///   process, so only that process is diffed, in O(1). The global
+///   at-most-one-leader condition is tracked by a running leader count;
+///   the full leader list is materialized only on the violation path.
+///
+/// The two record the same violation *kinds* at the same actions; the only
+/// difference is multiplicity while a violating condition persists (the
+/// full-snapshot path re-reports e.g. `MultipleLeaders` after every
+/// subsequent action, the incremental path on each transition into it).
 #[derive(Clone, Debug)]
 pub struct SpecMonitor {
     prev: Vec<ElectionState>,
+    leader_count: usize,
     violations: Vec<SpecViolation>,
 }
 
 impl SpecMonitor {
     /// Starts monitoring from the initial configuration.
     pub fn new(initial: Vec<ElectionState>) -> Self {
-        let mut mon = SpecMonitor { prev: initial.clone(), violations: Vec::new() };
+        let leader_count = initial.iter().filter(|s| s.is_leader).count();
+        let mut mon = SpecMonitor { prev: initial.clone(), leader_count, violations: Vec::new() };
         // The specification requires isLeader and done initially FALSE.
         for (pid, st) in initial.iter().enumerate() {
             if st.is_leader {
@@ -109,6 +125,52 @@ impl SpecMonitor {
             }
         }
         mon
+    }
+
+    /// Observes that an atomic action of process `pid` produced election
+    /// state `new`; every other process is unchanged. O(1) except when a
+    /// violation is found.
+    pub fn observe_one(&mut self, pid: usize, new: ElectionState) {
+        let old = self.prev[pid];
+        if old == new {
+            self.prev[pid] = new;
+            return;
+        }
+        if new.is_leader && !old.is_leader {
+            self.leader_count += 1;
+            if self.leader_count > 1 {
+                self.prev[pid] = new;
+                let leaders: Vec<usize> = self
+                    .prev
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.is_leader)
+                    .map(|(i, _)| i)
+                    .collect();
+                self.violations.push(SpecViolation::MultipleLeaders { leaders });
+            }
+        } else if old.is_leader && !new.is_leader {
+            self.leader_count -= 1;
+            self.violations.push(SpecViolation::LeaderRevoked { pid });
+        }
+        if old.done && !new.done {
+            self.violations.push(SpecViolation::DoneRevoked { pid });
+        }
+        if old.done && old.leader != new.leader {
+            self.violations.push(SpecViolation::LeaderChangedAfterDone { pid });
+        }
+        if new.halted && !new.done {
+            self.violations.push(SpecViolation::HaltedBeforeDone { pid });
+        }
+        if !old.done && new.done && self.leader_count == 0 {
+            self.violations.push(SpecViolation::DoneWithoutLeader { pid });
+        }
+        if old.halted
+            && (old.done != new.done || old.is_leader != new.is_leader || old.leader != new.leader)
+        {
+            self.violations.push(SpecViolation::ActedAfterHalt { pid });
+        }
+        self.prev[pid] = new;
     }
 
     /// Observes the configuration after an atomic step.
@@ -143,6 +205,7 @@ impl SpecMonitor {
                 self.violations.push(SpecViolation::ActedAfterHalt { pid });
             }
         }
+        self.leader_count = leaders.len();
         self.prev = states.to_vec();
     }
 
@@ -295,6 +358,38 @@ mod tests {
             .violations()
             .iter()
             .any(|v| matches!(v, SpecViolation::WrongLeaderVariable { pid: 1, .. })));
+    }
+
+    #[test]
+    fn observe_one_agrees_with_full_observe() {
+        // Feed the same history through the full-snapshot diff and the
+        // incremental single-process diff: same violation kinds.
+        let seq = [
+            vec![st(false, None, false, false), st(true, Some(2), true, false)],
+            vec![st(true, Some(1), true, false), st(true, Some(2), true, false)],
+            vec![st(true, Some(1), true, false), st(false, Some(2), true, true)],
+        ];
+        let changed = [1usize, 0, 1];
+        let mut full = SpecMonitor::new(initial(2));
+        let mut inc = SpecMonitor::new(initial(2));
+        for (states, &pid) in seq.iter().zip(&changed) {
+            full.observe(states);
+            inc.observe_one(pid, states[pid]);
+        }
+        let kinds = |m: &SpecMonitor| {
+            let mut v: Vec<String> = m.violations().iter().map(|x| format!("{x:?}")).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        assert_eq!(kinds(&full), kinds(&inc));
+        assert!(inc.violations().iter().any(
+            |v| matches!(v, SpecViolation::MultipleLeaders { leaders } if leaders == &vec![0, 1])
+        ));
+        assert!(inc
+            .violations()
+            .iter()
+            .any(|v| matches!(v, SpecViolation::LeaderRevoked { pid: 1 })));
     }
 
     #[test]

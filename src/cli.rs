@@ -57,6 +57,10 @@ USAGE:
         [--rings W] [--n SIZE] [--no-rotate]
         [--nodes B] [--cache-cap C]        (no --addr: spins up B in-process
                                             backends behind an in-process router)
+  hre bench-core [--sizes N1,N2,...] [--k K] [--threads T] [--seed S] [--json]
+        in-process engine throughput: full Ak/Bk elections per second,
+        messages per second, and a peak-memory proxy, per ring size
+        (defaults: sizes 8,32,128,512, k 3, seed 9000, threads = all cores)
 ";
 
 /// Parsed arguments: `--key value` pairs plus bare flags.
@@ -96,6 +100,7 @@ pub fn dispatch(cmd: &str, opts: &Opts) -> Result<String, String> {
         "bench-svc" => bench_svc_cmd(opts),
         "cluster-route" => cluster_route_cmd(opts),
         "bench-cluster" => bench_cluster_cmd(opts),
+        "bench-core" => bench_core_cmd(opts),
         "trace" => trace_cmd(opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command '{other}'")),
@@ -780,6 +785,131 @@ fn bench_cluster_cmd(opts: &Opts) -> Result<String, String> {
     Ok(out)
 }
 
+/// Renders a byte count for humans (binary units).
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes < 1024 {
+        format!("{bytes} B")
+    } else if bytes < 1024 * 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+/// `hre bench-core`: raw simulation-engine throughput, no sockets involved.
+///
+/// For each ring size the command builds one seeded exact-multiplicity-`k`
+/// ring, then times a batch of complete elections (Ak and Bk under the
+/// round-robin scheduler) fanned over the parallel sweep runner, and
+/// reports elections per second, messages per second, and a peak-memory
+/// proxy: `n·⌈space/8⌉` bytes of process state plus `16 B` per pooled
+/// in-flight message slot bounded by `n` links at the peak single-link
+/// backlog. `--threads` sets the sweep fan-out (default: all cores);
+/// `--json` emits the table machine-readably instead.
+fn bench_core_cmd(opts: &Opts) -> Result<String, String> {
+    let sizes: Vec<usize> = match opts.get("sizes") {
+        Some(s) => s
+            .split(',')
+            .map(|x| x.trim().parse::<usize>().map_err(|e| format!("bad --sizes: {e}")))
+            .collect::<Result<_, _>>()?,
+        None => vec![8, 32, 128, 512],
+    };
+    let k = u64_opt(opts, "k", 3)? as usize;
+    if k < 2 {
+        return Err("--k must be >= 2 (Bk requires it)".into());
+    }
+    if sizes.is_empty() || sizes.iter().any(|&n| n <= k) {
+        return Err(format!("--sizes entries must all exceed --k ({k})"));
+    }
+    let threads = u64_opt(
+        opts,
+        "threads",
+        std::thread::available_parallelism().map_or(1, |p| p.get()) as u64,
+    )? as usize;
+    if threads == 0 {
+        return Err("--threads must be >= 1".into());
+    }
+    let seed = u64_opt(opts, "seed", 9000)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rings: Vec<(usize, RingLabeling)> =
+        sizes.iter().map(|&n| (n, generate::random_exact_multiplicity(n, k, &mut rng))).collect();
+
+    let mut table =
+        Table::new(["n", "algo", "runs", "wall ms", "runs/s", "msgs/s", "peak mem (proxy)"]);
+    let mut json_rows = Vec::new();
+    for (n, ring) in &rings {
+        // Bk's message count grows as k²n², so its batches shrink faster.
+        for (algo, runs) in [("ak", (1 << 20) / (n * n)), ("bk", (1 << 18) / (k * k * n * n))] {
+            let runs = runs.clamp(1, 64);
+            let batch: Vec<usize> = (0..runs).collect();
+            let t0 = std::time::Instant::now();
+            let reps = crate::sim::sweep_map(&batch, threads, |_, _| {
+                if algo == "ak" {
+                    let r = run(
+                        &Ak::new(k),
+                        ring,
+                        &mut RoundRobinSched::default(),
+                        RunOptions::default(),
+                    );
+                    (r.clean(), r.leader, r.metrics)
+                } else {
+                    let r = run(
+                        &Bk::new(k),
+                        ring,
+                        &mut RoundRobinSched::default(),
+                        RunOptions::default(),
+                    );
+                    (r.clean(), r.leader, r.metrics)
+                }
+            });
+            let wall = t0.elapsed().as_secs_f64();
+            if reps.iter().any(|(clean, leader, _)| !clean || leader.is_none()) {
+                return Err(format!("bench-core: {algo} run unclean on n={n} (engine bug)"));
+            }
+            let m = &reps[0].2;
+            let total_msgs: u64 = reps.iter().map(|(_, _, m)| m.messages).sum();
+            let runs_per_s = runs as f64 / wall;
+            let msgs_per_s = total_msgs as f64 / wall;
+            let rss = *n as u64 * m.peak_space_bits.div_ceil(8)
+                + *n as u64 * m.peak_link_occupancy as u64 * 16;
+            table.row([
+                n.to_string(),
+                algo.into(),
+                runs.to_string(),
+                format!("{:.2}", wall * 1e3),
+                format!("{runs_per_s:.0}"),
+                format!("{msgs_per_s:.0}"),
+                fmt_bytes(rss),
+            ]);
+            json_rows.push(format!(
+                "{{\"n\": {n}, \"algo\": \"{algo}\", \"runs\": {runs}, \
+                 \"wall_ms\": {:.3}, \"runs_per_s\": {runs_per_s:.1}, \
+                 \"msgs_per_s\": {msgs_per_s:.0}, \"rss_proxy_bytes\": {rss}}}",
+                wall * 1e3
+            ));
+        }
+    }
+    if opts.contains_key("json") {
+        return Ok(format!(
+            "{{\n  \"command\": \"bench-core\",\n  \"k\": {k},\n  \"seed\": {seed},\n  \
+             \"threads\": {threads},\n  \"rows\": [\n    {}\n  ]\n}}\n",
+            json_rows.join(",\n    ")
+        ));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "engine throughput — complete elections, sim transport, round-robin \
+         scheduler (k={k}, seed={seed}, threads={threads})"
+    );
+    out.push_str(&table.render());
+    out.push_str(
+        "peak mem (proxy) = n·⌈space/8⌉ process state + 16 B per pooled \
+         in-flight message slot (n links × peak backlog)\n",
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -990,6 +1120,7 @@ mod tests {
         assert!(out.contains("bench-svc"), "{out}");
         assert!(out.contains("cluster-route"), "{out}");
         assert!(out.contains("bench-cluster"), "{out}");
+        assert!(out.contains("bench-core"), "{out}");
     }
 
     #[test]
@@ -1067,6 +1198,31 @@ mod tests {
         assert!(out.contains("over 2 backends"), "{out}");
         assert!(out.contains("18 ok"), "{out}");
         assert!(out.contains("by backend:"), "{out}");
+    }
+
+    #[test]
+    fn bench_core_reports_throughput() {
+        let out =
+            run_cli(&["bench-core", "--sizes", "8,12", "--threads", "2", "--seed", "7"]).unwrap();
+        assert!(out.contains("runs/s"), "{out}");
+        assert!(out.contains("msgs/s"), "{out}");
+        assert!(out.contains("bk"), "{out}");
+        assert!(out.contains("threads=2"), "{out}");
+        assert!(out.contains("peak mem (proxy)"), "{out}");
+    }
+
+    #[test]
+    fn bench_core_json_and_bad_flags() {
+        let out = run_cli(&["bench-core", "--sizes", "8", "--json"]).unwrap();
+        assert!(out.contains("\"command\": \"bench-core\""), "{out}");
+        assert!(out.contains("\"algo\": \"ak\""), "{out}");
+        assert!(out.contains("\"algo\": \"bk\""), "{out}");
+        assert!(out.contains("\"msgs_per_s\""), "{out}");
+        assert!(out.contains("\"rss_proxy_bytes\""), "{out}");
+        assert!(run_cli(&["bench-core", "--sizes", "2"]).is_err()); // n <= k
+        assert!(run_cli(&["bench-core", "--k", "1"]).is_err());
+        assert!(run_cli(&["bench-core", "--threads", "0"]).is_err());
+        assert!(run_cli(&["bench-core", "--sizes", "wat"]).is_err());
     }
 
     #[test]
