@@ -1,0 +1,11 @@
+//! Experiment binary; see `hre_bench::experiments::e23_ctrl`.
+//! `--quick` runs the CI-sized variant (smaller load, same gates).
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = if quick {
+        hre_bench::experiments::e23_ctrl::report_quick()
+    } else {
+        hre_bench::experiments::e23_ctrl::report()
+    };
+    print!("{report}");
+}

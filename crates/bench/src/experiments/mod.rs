@@ -22,6 +22,7 @@ pub mod e19_svc;
 pub mod e20_cluster;
 pub mod e21_trace;
 pub mod e22_perf;
+pub mod e23_ctrl;
 
 /// Runs every experiment in order and concatenates the reports — the body
 /// of `EXPERIMENTS.md`.
@@ -82,6 +83,10 @@ pub fn all() -> Vec<Experiment> {
         (
             "E22 — engine performance: zero-copy messages, pooled links, parallel sweep",
             e22_perf::report,
+        ),
+        (
+            "E23 — self-hosting control plane: coordinator kill, re-election, fencing",
+            e23_ctrl::report,
         ),
     ]
 }

@@ -163,6 +163,27 @@ impl Breaker {
         self.record_failure_at(Instant::now());
     }
 
+    /// Force the breaker open immediately at `now`, regardless of the
+    /// failure streak — the control plane declared this backend dead
+    /// (missed heartbeats), so waiting for `failure_threshold` live
+    /// requests to fail would send real traffic into a known hole. The
+    /// probe schedule still runs: if the member comes back, the usual
+    /// half-open probe closes the breaker.
+    pub fn trip_at(&self, now: Instant) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.state != BreakerState::Open {
+            inner.state = BreakerState::Open;
+            let wait = inner.backoff.advance();
+            inner.probe_due = now + wait;
+            self.opened.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// [`Breaker::trip_at`] as of now.
+    pub fn trip(&self) {
+        self.trip_at(Instant::now());
+    }
+
     /// How many times the breaker has tripped open.
     pub fn opened_total(&self) -> u64 {
         self.opened.load(Ordering::Relaxed)
@@ -237,6 +258,22 @@ mod tests {
         b.record_failure_at(t);
         assert!(!b.allows_request_at(t + Duration::from_millis(9)));
         assert!(b.allows_request_at(t + Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn trip_opens_immediately_and_probes_recover() {
+        let b = Breaker::new(3, START, CAP);
+        let t0 = Instant::now();
+        b.trip_at(t0); // no failure streak needed
+        assert_eq!(b.state_at(t0), BreakerState::Open);
+        assert_eq!(b.opened_total(), 1);
+        // Tripping an already-open breaker is a no-op.
+        b.trip_at(t0);
+        assert_eq!(b.opened_total(), 1);
+        // The probe schedule still applies; a successful probe closes.
+        assert!(b.allows_request_at(t0 + START));
+        b.record_success();
+        assert_eq!(b.state_at(t0 + START), BreakerState::Closed);
     }
 
     #[test]

@@ -41,12 +41,14 @@ pub mod health;
 pub mod metrics;
 pub mod pool;
 pub mod router;
+pub mod topology;
 
 pub use bench::{run_cluster_load, ClusterLoadOptions, ClusterLoadReport};
 pub use hash::{shard_key, HashRing};
 pub use health::{Breaker, BreakerState};
-pub use metrics::ClusterMetrics;
-pub use router::{start, ClusterConfig, RouterHandle, RouterSummary};
+pub use metrics::{BackendMetrics, ClusterMetrics};
+pub use router::{start, ClusterConfig, RouterController, RouterHandle, RouterSummary};
+pub use topology::{BackendSlot, Topology};
 
 // The shared wire codec: one source of truth, re-exported so cluster
 // users never import a second copy that could drift from the backends.

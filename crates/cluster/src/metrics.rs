@@ -7,24 +7,31 @@
 //! label; breaker state is a gauge encoded 0 = closed, 1 = open,
 //! 2 = half-open alongside cumulative transition counters.
 //!
+//! Per-backend counters live inside each [`BackendSlot`] (not in
+//! [`ClusterMetrics`]): since the control plane made the backend set
+//! dynamic, a backend's counters must travel with its slot across
+//! topology swaps rather than sit in a fixed-size vector indexed by a
+//! configuration order that no longer exists. [`ClusterMetrics`] keeps
+//! only the front-door aggregates, which survive every reconfiguration.
+//!
 //! The per-backend latency histograms double as the input to the
-//! **adaptive hedge threshold**: [`ClusterMetrics::hedge_threshold`]
-//! reads a backend's observed p95 — linearly interpolated within the
-//! covering log₂ bucket ([`HistSnapshot::quantile_us`]), not rounded to
-//! a bucket edge — and hedges at `max(hedge_min, 2 × p95)`. A backend
-//! that is normally fast gets hedged quickly when it stalls, a backend
-//! that is normally slow is not hedged prematurely, and the threshold
-//! tracks the true p95 to within one bucket's interpolation error
-//! instead of quantizing to a power of two (which mis-timed hedges by
-//! up to 2×).
+//! **adaptive hedge threshold**: [`BackendSlot::hedge_threshold`] reads
+//! a backend's observed p95 — linearly interpolated within the covering
+//! log₂ bucket ([`HistSnapshot::quantile_us`]), not rounded to a bucket
+//! edge — and hedges at `max(hedge_min, 2 × p95)`. A backend that is
+//! normally fast gets hedged quickly when it stalls, a backend that is
+//! normally slow is not hedged prematurely, and the threshold tracks
+//! the true p95 to within one bucket's interpolation error instead of
+//! quantizing to a power of two (which mis-timed hedges by up to 2×).
 
-use crate::health::Breaker;
+use crate::topology::{BackendSlot, Topology};
 use hre_runtime::trace::Stage;
 use hre_runtime::{render_prometheus_histogram, HistSnapshot, Log2Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
 
 /// Counters and latency for one backend, as seen from the router.
+/// Owned by the backend's [`BackendSlot`] so it survives topology swaps.
 #[derive(Debug, Default)]
 pub struct BackendMetrics {
     /// Proxied requests attempted against this backend (live + hedge).
@@ -42,30 +49,27 @@ pub struct BackendMetrics {
     pub latency: Log2Histogram,
 }
 
-/// Everything the router exposes on `GET /metrics`.
+/// The front-door aggregates the router exposes on `GET /metrics`.
+#[derive(Debug, Default)]
 pub struct ClusterMetrics {
-    backends: Vec<(String, BackendMetrics)>,
     /// Client-facing requests accepted by the front door.
     pub requests: AtomicU64,
     /// Client-facing requests that exhausted every backend (502).
     pub request_errors: AtomicU64,
     /// Hedged duplicates whose response won the race.
     pub hedge_wins: AtomicU64,
+    /// Topology config pushes applied.
+    pub reconfigures: AtomicU64,
+    /// Topology config pushes refused as stale-epoch.
+    pub stale_configs: AtomicU64,
     /// End-to-end front-door latency (accept to response).
     pub request_latency: Log2Histogram,
 }
 
 impl ClusterMetrics {
-    /// Metrics for a fixed set of backends (configuration order; the
-    /// index is the same as the [`crate::hash::HashRing`] backend index).
-    pub fn new(backends: &[String]) -> ClusterMetrics {
-        ClusterMetrics {
-            backends: backends.iter().map(|b| (b.clone(), BackendMetrics::default())).collect(),
-            requests: AtomicU64::new(0),
-            request_errors: AtomicU64::new(0),
-            hedge_wins: AtomicU64::new(0),
-            request_latency: Log2Histogram::default(),
-        }
+    /// Fresh aggregates, all zero.
+    pub fn new() -> ClusterMetrics {
+        ClusterMetrics::default()
     }
 
     /// Bumps a counter by one.
@@ -73,30 +77,14 @@ impl ClusterMetrics {
         counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// The per-backend metrics slot for ring index `i`.
-    pub fn backend(&self, i: usize) -> &BackendMetrics {
-        &self.backends[i].1
-    }
-
-    /// When to hedge a request sitting on backend `i`: twice its
-    /// observed p95 (interpolated within the covering log₂ bucket),
-    /// floored at `hedge_min` so a cold or very fast backend is not
-    /// hedged on noise.
-    pub fn hedge_threshold(&self, i: usize, hedge_min: Duration) -> Duration {
-        let snap = self.backends[i].1.latency.snapshot();
-        let p95_us = snap.quantile_us(0.95);
-        hedge_min.max(Duration::from_micros(p95_us.saturating_mul(2)))
-    }
-
-    /// Renders the Prometheus text exposition. `breakers` must be the
-    /// same length and order as the backend list; `stages` is the
-    /// flight recorder's per-stage histograms.
+    /// Renders the Prometheus text exposition against one topology
+    /// snapshot; `stages` is the flight recorder's per-stage histograms.
     pub fn render_prometheus(
         &self,
-        breakers: &[Breaker],
+        topology: &Topology,
         stages: &[(Stage, HistSnapshot)],
     ) -> String {
-        assert_eq!(breakers.len(), self.backends.len());
+        let slots: &[Arc<BackendSlot>] = &topology.slots;
         let mut out = String::with_capacity(8192);
 
         let mut counter = |name: &str, help: &str, value: u64| {
@@ -117,6 +105,16 @@ impl ClusterMetrics {
             "hedged duplicates whose response won the race",
             self.hedge_wins.load(Ordering::Relaxed),
         );
+        counter(
+            "hre_cluster_reconfigures_total",
+            "topology config pushes applied",
+            self.reconfigures.load(Ordering::Relaxed),
+        );
+        counter(
+            "hre_cluster_stale_configs_total",
+            "topology config pushes refused as stale-epoch",
+            self.stale_configs.load(Ordering::Relaxed),
+        );
 
         let labeled = |out: &mut String, name: &str, help: &str, kind: &str| {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
@@ -131,12 +129,12 @@ impl ClusterMetrics {
             "proxied attempts per backend (live and hedged)",
             "counter",
         );
-        for (name, m) in &self.backends {
+        for s in slots {
             series(
                 &mut out,
                 "hre_cluster_backend_requests_total",
-                name,
-                m.requests.load(Ordering::Relaxed),
+                s.addr(),
+                s.metrics.requests.load(Ordering::Relaxed),
             );
         }
         labeled(
@@ -145,12 +143,12 @@ impl ClusterMetrics {
             "transport-level failures per backend",
             "counter",
         );
-        for (name, m) in &self.backends {
+        for s in slots {
             series(
                 &mut out,
                 "hre_cluster_backend_errors_total",
-                name,
-                m.errors.load(Ordering::Relaxed),
+                s.addr(),
+                s.metrics.errors.load(Ordering::Relaxed),
             );
         }
         labeled(
@@ -159,12 +157,12 @@ impl ClusterMetrics {
             "503-busy answers per backend",
             "counter",
         );
-        for (name, m) in &self.backends {
+        for s in slots {
             series(
                 &mut out,
                 "hre_cluster_backend_busy_total",
-                name,
-                m.busy.load(Ordering::Relaxed),
+                s.addr(),
+                s.metrics.busy.load(Ordering::Relaxed),
             );
         }
         labeled(
@@ -173,12 +171,12 @@ impl ClusterMetrics {
             "hedged duplicates fired because this backend stalled",
             "counter",
         );
-        for (name, m) in &self.backends {
+        for s in slots {
             series(
                 &mut out,
                 "hre_cluster_backend_hedges_total",
-                name,
-                m.hedges.load(Ordering::Relaxed),
+                s.addr(),
+                s.metrics.hedges.load(Ordering::Relaxed),
             );
         }
         labeled(
@@ -187,12 +185,12 @@ impl ClusterMetrics {
             "requests rerouted away from this backend",
             "counter",
         );
-        for (name, m) in &self.backends {
+        for s in slots {
             series(
                 &mut out,
                 "hre_cluster_backend_failovers_total",
-                name,
-                m.failovers.load(Ordering::Relaxed),
+                s.addr(),
+                s.metrics.failovers.load(Ordering::Relaxed),
             );
         }
 
@@ -202,8 +200,13 @@ impl ClusterMetrics {
             "circuit breaker state (0=closed, 1=open, 2=half-open)",
             "gauge",
         );
-        for ((name, _), b) in self.backends.iter().zip(breakers) {
-            series(&mut out, "hre_cluster_breaker_state", name, b.peek_state().as_gauge());
+        for s in slots {
+            series(
+                &mut out,
+                "hre_cluster_breaker_state",
+                s.addr(),
+                s.breaker.peek_state().as_gauge(),
+            );
         }
         labeled(
             &mut out,
@@ -211,8 +214,8 @@ impl ClusterMetrics {
             "times the breaker tripped open",
             "counter",
         );
-        for ((name, _), b) in self.backends.iter().zip(breakers) {
-            series(&mut out, "hre_cluster_breaker_opens_total", name, b.opened_total());
+        for s in slots {
+            series(&mut out, "hre_cluster_breaker_opens_total", s.addr(), s.breaker.opened_total());
         }
         labeled(
             &mut out,
@@ -220,8 +223,13 @@ impl ClusterMetrics {
             "half-open probes admitted",
             "counter",
         );
-        for ((name, _), b) in self.backends.iter().zip(breakers) {
-            series(&mut out, "hre_cluster_breaker_half_opens_total", name, b.half_opened_total());
+        for s in slots {
+            series(
+                &mut out,
+                "hre_cluster_breaker_half_opens_total",
+                s.addr(),
+                s.breaker.half_opened_total(),
+            );
         }
         labeled(
             &mut out,
@@ -229,9 +237,26 @@ impl ClusterMetrics {
             "times the breaker recovered to closed",
             "counter",
         );
-        for ((name, _), b) in self.backends.iter().zip(breakers) {
-            series(&mut out, "hre_cluster_breaker_closes_total", name, b.closed_total());
+        for s in slots {
+            series(
+                &mut out,
+                "hre_cluster_breaker_closes_total",
+                s.addr(),
+                s.breaker.closed_total(),
+            );
         }
+
+        // The topology generation, for dashboards and the E23 gate.
+        out.push_str(&format!(
+            "# HELP hre_cluster_epoch control-plane epoch of the active topology\n\
+             # TYPE hre_cluster_epoch gauge\nhre_cluster_epoch {}\n",
+            topology.epoch
+        ));
+        out.push_str(&format!(
+            "# HELP hre_cluster_backends number of backends in the active topology\n\
+             # TYPE hre_cluster_backends gauge\nhre_cluster_backends {}\n",
+            slots.len()
+        ));
 
         // Histograms go through the shared renderer in `hre_runtime` so
         // the `le` edges match the service's families exactly.
@@ -242,13 +267,13 @@ impl ClusterMetrics {
             None,
             &self.request_latency.snapshot(),
         );
-        for (name, m) in &self.backends {
+        for s in slots {
             render_prometheus_histogram(
                 &mut out,
                 "hre_cluster_backend_latency_seconds",
                 "latency of proxied attempts per backend",
-                Some(("backend", name)),
-                &m.latency.snapshot(),
+                Some(("backend", s.addr())),
+                &s.metrics.latency.snapshot(),
             );
         }
         // Per-stage latencies from the flight recorder — same family
@@ -270,34 +295,38 @@ impl ClusterMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::ClusterConfig;
     use std::time::Duration;
 
-    fn names() -> Vec<String> {
-        vec!["127.0.0.1:1001".into(), "127.0.0.1:1002".into()]
+    fn topo() -> Topology {
+        Topology::initial(&ClusterConfig {
+            backends: vec!["127.0.0.1:1001".into(), "127.0.0.1:1002".into()],
+            ..ClusterConfig::default()
+        })
     }
 
     #[test]
     fn hedge_threshold_tracks_p95_with_a_floor() {
-        let m = ClusterMetrics::new(&names());
+        let t = topo();
         let floor = Duration::from_millis(5);
         // Empty histogram: the floor wins.
-        assert_eq!(m.hedge_threshold(0, floor), floor);
+        assert_eq!(t.slots[0].hedge_threshold(floor), floor);
         // 100 fast samples (~100 µs): p95 ≈ 124 µs interpolated, 2× is
         // still under the floor.
         for _ in 0..100 {
-            m.backend(0).latency.record(Duration::from_micros(100));
+            t.slots[0].metrics.latency.record(Duration::from_micros(100));
         }
-        assert_eq!(m.hedge_threshold(0, floor), floor);
+        assert_eq!(t.slots[0].hedge_threshold(floor), floor);
         // Shift the tail: 100 more at ~20 ms. Rank 190 of 200 falls in
         // bucket [16384, 32768) µs as its 90th of 100 samples, so the
         // interpolated p95 is 16384 + 16384·90/100 = 31129 µs.
         for _ in 0..100 {
-            m.backend(0).latency.record(Duration::from_millis(20));
+            t.slots[0].metrics.latency.record(Duration::from_millis(20));
         }
-        let t = m.hedge_threshold(0, floor);
-        assert_eq!(t, Duration::from_micros(2 * 31_129), "{t:?}");
+        let thresh = t.slots[0].hedge_threshold(floor);
+        assert_eq!(thresh, Duration::from_micros(2 * 31_129), "{thresh:?}");
         // Backend 1 is untouched.
-        assert_eq!(m.hedge_threshold(1, floor), floor);
+        assert_eq!(t.slots[1].hedge_threshold(floor), floor);
     }
 
     #[test]
@@ -337,35 +366,33 @@ mod tests {
         );
 
         // And the threshold built on it is what the router will use.
-        let m = ClusterMetrics::new(&names());
+        let t = topo();
         for &us in &samples {
-            m.backend(0).latency.record_us(us);
+            t.slots[0].metrics.latency.record_us(us);
         }
         assert_eq!(
-            m.hedge_threshold(0, Duration::from_millis(5)),
+            t.slots[0].hedge_threshold(Duration::from_millis(5)),
             Duration::from_micros(2 * interpolated)
         );
     }
 
     #[test]
     fn renders_prometheus_with_conventions_and_labels() {
-        let m = ClusterMetrics::new(&names());
-        let breakers: Vec<Breaker> = (0..2)
-            .map(|_| Breaker::new(3, Duration::from_millis(10), Duration::from_millis(100)))
-            .collect();
+        let m = ClusterMetrics::new();
+        let t = topo();
         ClusterMetrics::inc(&m.requests);
-        ClusterMetrics::inc(&m.backend(0).requests);
-        ClusterMetrics::inc(&m.backend(1).hedges);
+        ClusterMetrics::inc(&t.slots[0].metrics.requests);
+        ClusterMetrics::inc(&t.slots[1].metrics.hedges);
         m.request_latency.record(Duration::from_micros(300));
-        m.backend(0).latency.record(Duration::from_micros(300));
-        breakers[1].record_failure();
-        breakers[1].record_failure();
-        breakers[1].record_failure();
+        t.slots[0].metrics.latency.record(Duration::from_micros(300));
+        t.slots[1].breaker.record_failure();
+        t.slots[1].breaker.record_failure();
+        t.slots[1].breaker.record_failure();
 
         let stage_hist = Log2Histogram::default();
         stage_hist.record(Duration::from_micros(40));
         let stages = vec![(Stage::Attempt, stage_hist.snapshot())];
-        let text = m.render_prometheus(&breakers, &stages);
+        let text = m.render_prometheus(&t, &stages);
         assert!(text.contains("hre_cluster_requests_total 1\n"), "{text}");
         assert!(
             text.contains("hre_cluster_backend_requests_total{backend=\"127.0.0.1:1001\"} 1\n"),
@@ -387,6 +414,8 @@ mod tests {
             text.contains("hre_cluster_breaker_opens_total{backend=\"127.0.0.1:1002\"} 1\n"),
             "{text}"
         );
+        assert!(text.contains("hre_cluster_epoch 0\n"), "{text}");
+        assert!(text.contains("hre_cluster_backends 2\n"), "{text}");
         // Histogram in base seconds: 300 µs lands in le=512µs = 0.000512 s.
         assert!(
             text.contains("hre_cluster_request_latency_seconds_bucket{le=\"0.000512\"} 1"),
@@ -405,18 +434,10 @@ mod tests {
             text.contains("hre_stage_seconds_bucket{stage=\"attempt\",le=\"0.000064\"} 1\n"),
             "{text}"
         );
-        // Every exported family obeys the conventions: hre_ prefix and
-        // _total/_seconds/state suffixes only. `hre_stage_seconds` is
-        // the one deliberately un-prefixed family: it is shared verbatim
-        // with the service daemon (same stage vocabulary), distinguished
-        // by scrape target rather than by name.
-        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
-            let name = line.split_whitespace().nth(2).unwrap();
-            assert!(name.starts_with("hre_cluster_") || name == "hre_stage_seconds", "{name}");
-            assert!(
-                name.ends_with("_total") || name.ends_with("_seconds") || name.ends_with("_state"),
-                "unconventional metric name {name}"
-            );
-        }
+        // Every exported family obeys the conventions, checked with the
+        // same helper the service exposes (and CI greps live scrapes
+        // with the equivalent shell logic).
+        let bad = hre_svc::naming_violations(&text);
+        assert!(bad.is_empty(), "non-conforming metric names: {bad:?}");
     }
 }

@@ -5,6 +5,7 @@
 //!
 //! ```text
 //!   client ──▶ router: parse & validate (400 on garbage, never forwarded)
+//!                │ topology = one Arc snapshot for the whole request
 //!                │ shard key = hash(canonical rotation of the labels)
 //!                │ candidates = ring walk from the key, open breakers
 //!                │              skipped (fail-open if all are open)
@@ -25,17 +26,26 @@
 //! and idempotent, so the two raced responses are byte-identical — the
 //! client cannot observe which one won. The hedge threshold adapts per
 //! backend: `max(hedge_min, 2 × observed p95)` via
-//! [`ClusterMetrics::hedge_threshold`].
+//! [`BackendSlot::hedge_threshold`].
+//!
+//! Since PR 6 the backend set is **dynamic**: everything per-backend
+//! lives in an immutable [`Topology`] snapshot behind an
+//! `RwLock<Arc<..>>`, and the control plane's elected coordinator swaps
+//! it via [`RouterHandle::update_backends`]. Pushes are fenced by epoch
+//! — a push below the current epoch is a deposed coordinator talking
+//! and is refused. Each request grabs one snapshot up front, so a swap
+//! mid-request cannot mix generations. With [`ClusterConfig::dynamic`]
+//! set the router may start with no backends at all and answers `502`
+//! until the first config push lands.
 //!
 //! A background prober hits every backend's `GET /healthz` each
 //! `health_interval`; probe outcomes feed the same breakers as live
 //! traffic, and open breakers pace their probes on the shared
 //! capped-backoff schedule ([`hre_runtime::Backoff`]).
 
-use crate::hash::{shard_key, HashRing};
-use crate::health::Breaker;
+use crate::hash::shard_key;
 use crate::metrics::ClusterMetrics;
-use crate::pool::BackendPool;
+use crate::topology::{BackendSlot, Topology};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use hre_runtime::trace::{self, FlightRecorder, SpanAttrs, SpanId, Stage, TraceId};
 use hre_runtime::DEFAULT_TRACE_CAP;
@@ -44,7 +54,7 @@ use hre_svc::json::{self, Json};
 use hre_svc::{error_json, tracewire, Client, ClientResponse, ElectRequest};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -53,7 +63,9 @@ use std::time::{Duration, Instant};
 pub struct ClusterConfig {
     /// Listen address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Backend `host:port` addresses (must be non-empty).
+    /// Backend `host:port` addresses. Must be non-empty unless
+    /// [`ClusterConfig::dynamic`] is set; duplicates and the router's
+    /// own address are rejected at startup.
     pub backends: Vec<String>,
     /// Virtual nodes per backend on the consistent-hash ring.
     pub vnodes: usize,
@@ -80,6 +92,10 @@ pub struct ClusterConfig {
     /// Requests slower than this log their span tree to stderr
     /// (`None` disables the slow-request log).
     pub slow_threshold: Option<Duration>,
+    /// Accept an empty initial backend list and serve `502` until the
+    /// control plane pushes the first topology via
+    /// [`RouterHandle::update_backends`].
+    pub dynamic: bool,
 }
 
 impl Default for ClusterConfig {
@@ -99,6 +115,7 @@ impl Default for ClusterConfig {
             max_body: DEFAULT_MAX_BODY,
             trace_cap: DEFAULT_TRACE_CAP,
             slow_threshold: Some(Duration::from_secs(1)),
+            dynamic: false,
         }
     }
 }
@@ -109,12 +126,19 @@ const POLL: Duration = Duration::from_millis(25);
 /// Everything the connection threads and the prober share.
 struct Shared {
     cfg: ClusterConfig,
-    ring: HashRing,
-    pools: Vec<BackendPool>,
-    breakers: Vec<Breaker>,
+    /// The live topology generation. Swapped whole by config pushes;
+    /// readers clone the `Arc` once and never see a mixed generation.
+    topology: RwLock<Arc<Topology>>,
     metrics: ClusterMetrics,
     recorder: Arc<FlightRecorder>,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// One consistent snapshot of the backend set.
+    fn topology(&self) -> Arc<Topology> {
+        Arc::clone(&self.topology.read().unwrap())
+    }
 }
 
 /// A running router. Call [`RouterHandle::shutdown`] to drain.
@@ -159,7 +183,9 @@ pub struct RouterSummary {
     pub request_errors: u64,
     /// Hedged duplicates whose response won the race.
     pub hedge_wins: u64,
-    /// Per-backend counters, in configuration order.
+    /// Topology epoch at drain time.
+    pub epoch: u64,
+    /// Per-backend counters for the final topology, in ring order.
     pub backends: Vec<BackendSummary>,
 }
 
@@ -167,8 +193,8 @@ impl std::fmt::Display for RouterSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "routed {} requests | exhausted {} | hedge wins {}",
-            self.requests, self.request_errors, self.hedge_wins
+            "routed {} requests | exhausted {} | hedge wins {} | epoch {}",
+            self.requests, self.request_errors, self.hedge_wins, self.epoch
         )?;
         for b in &self.backends {
             writeln!(
@@ -190,31 +216,49 @@ impl std::fmt::Display for RouterSummary {
     }
 }
 
-/// Binds the listener and spins up the acceptor and the health prober.
-pub fn start(cfg: ClusterConfig) -> std::io::Result<RouterHandle> {
-    if cfg.backends.is_empty() {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidInput,
-            "cluster needs at least one backend",
-        ));
+/// Rejects duplicate backend addresses and entries that point at the
+/// router itself (`local` holds the router's configured and bound
+/// addresses). A self-referential entry would make the router proxy to
+/// its own front door — an infinite loop the old static validation
+/// silently allowed.
+fn validate_backends(backends: &[String], local: &[String]) -> Result<(), String> {
+    for (i, b) in backends.iter().enumerate() {
+        if backends[..i].contains(b) {
+            return Err(format!("duplicate backend address {b}: each backend may be listed once"));
+        }
+        if local.iter().any(|l| l == b) {
+            return Err(format!(
+                "backend {b} is the router's own address: a router cannot route to itself"
+            ));
+        }
     }
+    Ok(())
+}
+
+fn invalid(why: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidInput, why)
+}
+
+/// Binds the listener and spins up the acceptor and the health prober.
+///
+/// Startup validation: a static router (the default) needs at least one
+/// backend; duplicates are rejected before the bind, self-referential
+/// entries (matching either the configured or the resolved listen
+/// address) right after it.
+pub fn start(cfg: ClusterConfig) -> std::io::Result<RouterHandle> {
+    if !cfg.dynamic && cfg.backends.is_empty() {
+        return Err(invalid("cluster needs at least one backend".into()));
+    }
+    // Duplicates need no bound address — catch them before taking the port.
+    validate_backends(&cfg.backends, &[]).map_err(invalid)?;
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+    validate_backends(&cfg.backends, &[cfg.addr.clone(), addr.to_string()]).map_err(invalid)?;
 
     let shared = Arc::new(Shared {
-        ring: HashRing::new(&cfg.backends, cfg.vnodes),
-        pools: cfg
-            .backends
-            .iter()
-            .map(|b| BackendPool::new(b, cfg.timeout, cfg.pool_cap))
-            .collect(),
-        breakers: cfg
-            .backends
-            .iter()
-            .map(|_| Breaker::new(cfg.failure_threshold, cfg.probe_start, cfg.probe_cap))
-            .collect(),
-        metrics: ClusterMetrics::new(&cfg.backends),
+        topology: RwLock::new(Arc::new(Topology::initial(&cfg))),
+        metrics: ClusterMetrics::new(),
         recorder: FlightRecorder::new(cfg.trace_cap),
         cfg,
         shutdown: AtomicBool::new(false),
@@ -243,9 +287,8 @@ impl RouterHandle {
 
     /// Current metrics, rendered as the `/metrics` endpoint would.
     pub fn metrics_text(&self) -> String {
-        self.shared
-            .metrics
-            .render_prometheus(&self.shared.breakers, &self.shared.recorder.stage_snapshots())
+        let topo = self.shared.topology();
+        self.shared.metrics.render_prometheus(&topo, &self.shared.recorder.stage_snapshots())
     }
 
     /// The router's flight recorder (for tests and embedding callers).
@@ -260,11 +303,43 @@ impl RouterHandle {
         self.shared.metrics.requests.load(Ordering::Relaxed)
     }
 
+    /// The control-plane epoch of the active topology.
+    pub fn epoch(&self) -> u64 {
+        self.shared.topology().epoch
+    }
+
+    /// The backend addresses in the active topology, in ring order.
+    pub fn backends(&self) -> Vec<String> {
+        self.shared.topology().slots.iter().map(|s| s.addr().to_string()).collect()
+    }
+
     /// The backend address that owns a label sequence (ignoring health)
     /// — the same placement the request path uses.
-    pub fn primary_backend(&self, labels: &[u64]) -> &str {
-        let i = self.shared.ring.primary(shard_key(labels)).expect("non-empty ring");
-        &self.shared.cfg.backends[i]
+    pub fn primary_backend(&self, labels: &[u64]) -> String {
+        let topo = self.shared.topology();
+        let i = topo.ring.primary(shard_key(labels)).expect("non-empty ring");
+        topo.slots[i].addr().to_string()
+    }
+
+    /// A cloneable controller for the reconfiguration surface — what a
+    /// control-plane callback captures. The callback must outlive any
+    /// single borrow of the handle (and [`RouterHandle::shutdown`]
+    /// consumes the handle), so the controller carries its own reference
+    /// to the router internals.
+    pub fn controller(&self) -> RouterController {
+        RouterController { shared: Arc::clone(&self.shared), addr: self.addr }
+    }
+
+    /// Applies a control-plane config push; see
+    /// [`RouterController::update_backends`].
+    pub fn update_backends(&self, epoch: u64, backends: &[String]) -> Result<(), String> {
+        self.controller().update_backends(epoch, backends)
+    }
+
+    /// Force-opens a dead member's breaker; see
+    /// [`RouterController::trip_backend`].
+    pub fn trip_backend(&self, addr: &str) -> bool {
+        self.controller().trip_backend(addr)
     }
 
     /// Requests a drain and joins the acceptor (which joins every
@@ -275,32 +350,27 @@ impl RouterHandle {
         let _ = self.acceptor.join().expect("acceptor panicked");
         self.prober.join().expect("prober panicked");
         let m = &self.shared.metrics;
-        let backends = self
-            .shared
-            .cfg
-            .backends
+        let topo = self.shared.topology();
+        let backends = topo
+            .slots
             .iter()
-            .enumerate()
-            .map(|(i, addr)| {
-                let bm = m.backend(i);
-                let br = &self.shared.breakers[i];
-                BackendSummary {
-                    addr: addr.clone(),
-                    requests: bm.requests.load(Ordering::Relaxed),
-                    errors: bm.errors.load(Ordering::Relaxed),
-                    busy: bm.busy.load(Ordering::Relaxed),
-                    hedges: bm.hedges.load(Ordering::Relaxed),
-                    failovers: bm.failovers.load(Ordering::Relaxed),
-                    breaker_opens: br.opened_total(),
-                    breaker_half_opens: br.half_opened_total(),
-                    breaker_closes: br.closed_total(),
-                }
+            .map(|slot| BackendSummary {
+                addr: slot.addr().to_string(),
+                requests: slot.metrics.requests.load(Ordering::Relaxed),
+                errors: slot.metrics.errors.load(Ordering::Relaxed),
+                busy: slot.metrics.busy.load(Ordering::Relaxed),
+                hedges: slot.metrics.hedges.load(Ordering::Relaxed),
+                failovers: slot.metrics.failovers.load(Ordering::Relaxed),
+                breaker_opens: slot.breaker.opened_total(),
+                breaker_half_opens: slot.breaker.half_opened_total(),
+                breaker_closes: slot.breaker.closed_total(),
             })
             .collect();
         RouterSummary {
             requests: m.requests.load(Ordering::Relaxed),
             request_errors: m.request_errors.load(Ordering::Relaxed),
             hedge_wins: m.hedge_wins.load(Ordering::Relaxed),
+            epoch: topo.epoch,
             backends,
         }
     }
@@ -312,6 +382,85 @@ impl RouterHandle {
             std::thread::sleep(POLL);
         }
         self.shutdown()
+    }
+}
+
+/// The router's reconfiguration surface, detached from the owning
+/// [`RouterHandle`] so control-plane callbacks (`on_config`/`on_death`)
+/// can hold it while the handle itself stays free to drain.
+#[derive(Clone)]
+pub struct RouterController {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for RouterController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterController").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+impl RouterController {
+    /// Applies a control-plane config push: swap the topology to
+    /// `backends` at `epoch`. Slots shared with the previous generation
+    /// keep their breaker state, warm pools, and counters
+    /// ([`Topology::successor`]).
+    ///
+    /// **Epoch fencing**: a push whose epoch is *below* the active one
+    /// comes from a deposed coordinator and is refused. The active
+    /// epoch re-pushed (same backend set or not) is accepted — that is
+    /// the live coordinator's periodic refresh, and it must be able to
+    /// repair a member that missed the original push. Every push is
+    /// recorded as a [`Stage::Reconfigure`] root span, accepted or not.
+    pub fn update_backends(&self, epoch: u64, backends: &[String]) -> Result<(), String> {
+        let t0 = Instant::now();
+        let result = (|| {
+            validate_backends(backends, &[self.shared.cfg.addr.clone(), self.addr.to_string()])?;
+            if !self.shared.cfg.dynamic && backends.is_empty() {
+                return Err("refusing to reconfigure a static router to zero backends".into());
+            }
+            let mut slot = self.shared.topology.write().unwrap();
+            if epoch < slot.epoch {
+                ClusterMetrics::inc(&self.shared.metrics.stale_configs);
+                return Err(format!(
+                    "stale config push: epoch {epoch} is behind the active epoch {}",
+                    slot.epoch
+                ));
+            }
+            *slot = Arc::new(slot.successor(epoch, backends, &self.shared.cfg));
+            ClusterMetrics::inc(&self.shared.metrics.reconfigures);
+            Ok(())
+        })();
+        let rec = &self.shared.recorder;
+        let trace_id = rec.mint_trace();
+        let root = rec.next_span_id();
+        rec.record_span_with_id(
+            root,
+            trace_id,
+            SpanId::NONE,
+            Stage::Reconfigure,
+            t0,
+            Instant::now(),
+            SpanAttrs { a: epoch, b: result.is_ok() as u64, err: result.is_err(), root: true },
+        );
+        result
+    }
+
+    /// Force-open the breaker for `addr` — the control plane declared
+    /// the member dead (missed heartbeats), so stop sending it live
+    /// traffic *now* instead of burning `failure_threshold` real
+    /// requests discovering the hole. Returns whether the address is in
+    /// the active topology.
+    pub fn trip_backend(&self, addr: &str) -> bool {
+        let topo = self.shared.topology();
+        match topo.slot_for(addr) {
+            Some(slot) => {
+                slot.breaker.trip();
+                slot.pool.clear();
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -391,10 +540,13 @@ fn route(req: &Request, shared: &Arc<Shared>) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/elect") => handle_elect(req, shared),
         ("GET", "/healthz") => Response::text(200, "ok\n"),
-        ("GET", "/metrics") => Response::text(
-            200,
-            shared.metrics.render_prometheus(&shared.breakers, &shared.recorder.stage_snapshots()),
-        ),
+        ("GET", "/metrics") => {
+            let topo = shared.topology();
+            Response::text(
+                200,
+                shared.metrics.render_prometheus(&topo, &shared.recorder.stage_snapshots()),
+            )
+        }
         ("GET", "/cluster") => Response::json(200, cluster_doc(shared).to_string()),
         ("GET", path) if path.starts_with("/trace/") => {
             handle_trace_merged(&path["/trace/".len()..], shared)
@@ -421,16 +573,17 @@ fn handle_trace_merged(tail: &str, shared: &Arc<Shared>) -> Response {
         s.src = "cluster".into();
     }
     let fetch_timeout = shared.cfg.timeout.min(Duration::from_millis(500));
-    for addr in &shared.cfg.backends {
+    let topo = shared.topology();
+    for slot in &topo.slots {
         // Fresh connections, not the proxy pools: a trace fetch must not
         // evict a request path's keep-alive connection mid-race.
-        let fetched = Client::connect(addr, fetch_timeout)
+        let fetched = Client::connect(slot.addr(), fetch_timeout)
             .and_then(|mut c| c.get(&format!("/trace/{}", trace_id.to_hex())));
         if let Ok(resp) = fetched {
             if resp.status == 200 {
                 if let Ok(remote) = tracewire::spans_from_doc(&resp.body_text()) {
                     spans.extend(remote.into_iter().map(|mut s| {
-                        s.src = addr.clone();
+                        s.src = slot.addr().to_string();
                         s
                     }));
                 }
@@ -448,16 +601,15 @@ fn handle_trace_merged(tail: &str, shared: &Arc<Shared>) -> Response {
 
 /// The `GET /cluster` topology document.
 fn cluster_doc(shared: &Shared) -> Json {
-    let backends: Vec<Json> = shared
-        .cfg
-        .backends
+    let topo = shared.topology();
+    let backends: Vec<Json> = topo
+        .slots
         .iter()
-        .enumerate()
-        .map(|(i, addr)| {
-            let bm = shared.metrics.backend(i);
-            let br = &shared.breakers[i];
+        .map(|slot| {
+            let bm = &slot.metrics;
+            let br = &slot.breaker;
             json::obj(vec![
-                ("addr", Json::Str(addr.clone())),
+                ("addr", Json::Str(slot.addr().to_string())),
                 ("state", Json::Str(br.peek_state().as_str().into())),
                 ("requests", Json::Num(bm.requests.load(Ordering::Relaxed) as i128)),
                 ("errors", Json::Num(bm.errors.load(Ordering::Relaxed) as i128)),
@@ -469,13 +621,14 @@ fn cluster_doc(shared: &Shared) -> Json {
         })
         .collect();
     json::obj(vec![
-        ("vnodes", Json::Num(shared.ring.vnodes() as i128)),
+        ("epoch", Json::Num(topo.epoch as i128)),
+        ("vnodes", Json::Num(topo.ring.vnodes() as i128)),
         ("backends", Json::Arr(backends)),
     ])
 }
 
-/// One proxied attempt's outcome: backend index, transport result, and
-/// the attempt's wall-clock latency.
+/// One proxied attempt's outcome: backend index (within the request's
+/// topology snapshot), transport result, and wall-clock latency.
 type Attempt = (usize, std::io::Result<ClientResponse>, Duration);
 
 /// Fires one attempt on its own thread; the result lands in `tx` (the
@@ -484,28 +637,30 @@ type Attempt = (usize, std::io::Result<ClientResponse>, Duration);
 /// to the backend as `x-parent-span`, so the backend's own root span
 /// hangs under this attempt in the merged tree; the span itself is
 /// recorded when the attempt resolves — even if it resolved too late to
-/// matter.
+/// matter. The attempt holds its own `Arc` to the slot, so a topology
+/// swap mid-attempt cannot pull the pool out from under it.
 fn spawn_attempt(
     shared: Arc<Shared>,
+    slot: Arc<BackendSlot>,
     idx: usize,
     body: Arc<Vec<u8>>,
     tx: Sender<Attempt>,
     trace_id: TraceId,
     root: SpanId,
 ) {
-    ClusterMetrics::inc(&shared.metrics.backend(idx).requests);
+    ClusterMetrics::inc(&slot.metrics.requests);
     let span = shared.recorder.next_span_id();
     std::thread::spawn(move || {
         let t0 = Instant::now();
         let result = (|| {
-            let mut client = shared.pools[idx].get()?;
+            let mut client = slot.pool.get()?;
             let resp = client.request_with_headers(
                 "POST",
                 "/elect",
                 &[("x-trace-id", &trace_id.to_hex()), ("x-parent-span", &span.to_hex())],
                 Some(&body),
             )?;
-            shared.pools[idx].put(client);
+            slot.pool.put(client);
             Ok(resp)
         })();
         let err = match &result {
@@ -542,9 +697,19 @@ fn handle_elect(req: &Request, shared: &Arc<Shared>) -> Response {
     // byte-identical to what a backend would have answered.
     let resp = match ElectRequest::from_json(&req.body) {
         Ok(request) => {
-            let resp = forward(shared, &request.labels, &req.body, started, trace_id, root);
-            shared.metrics.request_latency.record(started.elapsed());
-            resp
+            let topo = shared.topology();
+            if topo.is_empty() {
+                ClusterMetrics::inc(&shared.metrics.request_errors);
+                Response::json(
+                    502,
+                    error_json("no backends configured (awaiting control-plane config)"),
+                )
+            } else {
+                let resp =
+                    forward(shared, &topo, &request.labels, &req.body, started, trace_id, root);
+                shared.metrics.request_latency.record(started.elapsed());
+                resp
+            }
         }
         Err(why) => Response::json(400, error_json(&why)),
     };
@@ -572,9 +737,11 @@ fn handle_elect(req: &Request, shared: &Arc<Shared>) -> Response {
     resp.with_header("x-trace-id", trace_id.to_hex())
 }
 
-/// Candidate selection + the failover/hedge race.
+/// Candidate selection + the failover/hedge race, all against one
+/// topology snapshot.
 fn forward(
     shared: &Arc<Shared>,
+    topo: &Arc<Topology>,
     labels: &[u64],
     body: &[u8],
     started: Instant,
@@ -583,7 +750,7 @@ fn forward(
 ) -> Response {
     let rec = &shared.recorder;
     let hash_start = Instant::now();
-    let order = shared.ring.preference_order(shard_key(labels));
+    let order = topo.ring.preference_order(shard_key(labels));
     rec.record_span(
         trace_id,
         root,
@@ -597,7 +764,7 @@ fn forward(
     // guarantees failure while trying merely risks it).
     let breaker_start = Instant::now();
     let mut candidates: Vec<usize> =
-        order.iter().copied().filter(|&i| shared.breakers[i].allows_request()).collect();
+        order.iter().copied().filter(|&i| topo.slots[i].breaker.allows_request()).collect();
     if candidates.is_empty() {
         candidates = order.clone();
     }
@@ -610,7 +777,7 @@ fn forward(
         SpanAttrs { a: candidates.len() as u64, b: order.len() as u64, ..Default::default() },
     );
     for &skipped in order.iter().filter(|i| !candidates.contains(i)) {
-        ClusterMetrics::inc(&shared.metrics.backend(skipped).failovers);
+        ClusterMetrics::inc(&topo.slots[skipped].metrics.failovers);
     }
 
     let deadline = started + shared.cfg.deadline;
@@ -625,6 +792,7 @@ fn forward(
 
     spawn_attempt(
         Arc::clone(shared),
+        Arc::clone(&topo.slots[candidates[next]]),
         candidates[next],
         Arc::clone(&body),
         tx.clone(),
@@ -645,56 +813,57 @@ fn forward(
         // available, silence past the adaptive threshold triggers a
         // hedge; otherwise just wait out the deadline.
         let wait = if in_flight == 1 && next < candidates.len() {
-            shared.metrics.hedge_threshold(current, shared.cfg.hedge_min).min(remaining)
+            topo.slots[current].hedge_threshold(shared.cfg.hedge_min).min(remaining)
         } else {
             remaining
         };
         match rx.recv_timeout(wait.max(Duration::from_millis(1))) {
             Ok((idx, Ok(resp), elapsed)) => {
                 in_flight -= 1;
-                shared.metrics.backend(idx).latency.record(elapsed);
+                topo.slots[idx].metrics.latency.record(elapsed);
                 match resp.status {
                     503 => {
                         // Alive but saturated: not a breaker event.
-                        shared.breakers[idx].record_success();
-                        ClusterMetrics::inc(&shared.metrics.backend(idx).busy);
-                        last_answer = Some(pass_through(&resp, &shared.cfg.backends[idx]));
+                        topo.slots[idx].breaker.record_success();
+                        ClusterMetrics::inc(&topo.slots[idx].metrics.busy);
+                        last_answer = Some(pass_through(&resp, topo.slots[idx].addr()));
                     }
                     status => {
-                        shared.breakers[idx].record_success();
+                        topo.slots[idx].breaker.record_success();
                         if status >= 500 {
                             // Unexpected backend failure: surface it only
                             // if nobody else can answer.
-                            ClusterMetrics::inc(&shared.metrics.backend(idx).errors);
-                            last_answer = Some(pass_through(&resp, &shared.cfg.backends[idx]));
+                            ClusterMetrics::inc(&topo.slots[idx].metrics.errors);
+                            last_answer = Some(pass_through(&resp, topo.slots[idx].addr()));
                         } else {
                             // 200 (elected) or 422 (spec violated): a
                             // definitive answer — first one wins.
                             if hedged.contains(&idx) {
                                 ClusterMetrics::inc(&shared.metrics.hedge_wins);
                             }
-                            return pass_through(&resp, &shared.cfg.backends[idx]);
+                            return pass_through(&resp, topo.slots[idx].addr());
                         }
                     }
                 }
             }
             Ok((idx, Err(_), _)) => {
                 in_flight -= 1;
-                shared.breakers[idx].record_failure();
-                shared.pools[idx].clear();
-                ClusterMetrics::inc(&shared.metrics.backend(idx).errors);
-                ClusterMetrics::inc(&shared.metrics.backend(idx).failovers);
+                topo.slots[idx].breaker.record_failure();
+                topo.slots[idx].pool.clear();
+                ClusterMetrics::inc(&topo.slots[idx].metrics.errors);
+                ClusterMetrics::inc(&topo.slots[idx].metrics.failovers);
             }
             Err(_) => {
                 // recv timeout: either the hedge threshold or just a
                 // deadline-bounded wait. Hedge if that's what tripped.
                 if in_flight == 1 && next < candidates.len() {
-                    ClusterMetrics::inc(&shared.metrics.backend(current).hedges);
+                    ClusterMetrics::inc(&topo.slots[current].metrics.hedges);
                     rec.record_event(trace_id, root, Stage::Hedge, candidates[next] as u64, 0);
                     hedged.push(candidates[next]);
                     current = candidates[next];
                     spawn_attempt(
                         Arc::clone(shared),
+                        Arc::clone(&topo.slots[candidates[next]]),
                         candidates[next],
                         Arc::clone(&body),
                         tx.clone(),
@@ -715,6 +884,7 @@ fn forward(
                 rec.record_event(trace_id, root, Stage::Failover, candidates[next] as u64, 0);
                 spawn_attempt(
                     Arc::clone(shared),
+                    Arc::clone(&topo.slots[candidates[next]]),
                     candidates[next],
                     Arc::clone(&body),
                     tx.clone(),
@@ -753,23 +923,26 @@ fn pass_through(resp: &ClientResponse, backend: &str) -> Response {
 
 /// Sweeps every backend's `GET /healthz` each `health_interval`;
 /// outcomes feed the breakers (open breakers admit probes only when the
-/// capped backoff says one is due).
+/// capped backoff says one is due). Each sweep works off a fresh
+/// topology snapshot, so new members are probed and removed ones are
+/// not.
 fn prober_loop(shared: &Arc<Shared>) {
     let probe_timeout = shared.cfg.timeout.min(Duration::from_millis(500));
     while !shared.shutdown.load(Ordering::Relaxed) {
-        for (i, addr) in shared.cfg.backends.iter().enumerate() {
-            if !shared.breakers[i].allows_request() {
+        let topo = shared.topology();
+        for slot in &topo.slots {
+            if !slot.breaker.allows_request() {
                 continue; // open, next probe not due yet
             }
-            let healthy = Client::connect(addr, probe_timeout)
+            let healthy = Client::connect(slot.addr(), probe_timeout)
                 .and_then(|mut c| c.get("/healthz"))
                 .map(|r| r.status == 200)
                 .unwrap_or(false);
             if healthy {
-                shared.breakers[i].record_success();
+                slot.breaker.record_success();
             } else {
-                shared.breakers[i].record_failure();
-                shared.pools[i].clear();
+                slot.breaker.record_failure();
+                slot.pool.clear();
             }
         }
         let mut slept = Duration::ZERO;

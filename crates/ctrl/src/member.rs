@@ -1,0 +1,442 @@
+//! Membership: who is in the cluster, and how the live members become a
+//! labeled unidirectional ring the paper's `Ak` can elect over.
+//!
+//! The membership view is a tiny state-based CRDT: a map from stable
+//! node id to [`MemberInfo`], merged pointwise by
+//! `(incarnation, status)` — a higher incarnation wins outright, and at
+//! equal incarnations `Dead` beats `Alive` (a death declaration is only
+//! retractable by the member itself, by rejoining with a bumped
+//! incarnation). Merging is commutative, associative, and idempotent,
+//! so any gossip order converges every member to the same view — the
+//! convergence property the `ctrl_convergence` proptest pins without
+//! touching a socket.
+//!
+//! From a converged view, [`View::ring_plan`] derives the election
+//! ring deterministically: live *backend* members sorted by id form the
+//! unidirectional ring order, and each gets a label hashed from its id
+//! (re-salted until all labels are distinct — distinct labels put the
+//! labeling in `K1`, where `Ak(k=1)` is guaranteed correct, and make it
+//! asymmetric, so a true leader exists). Routers are deliberately not
+//! in the plan: they observe membership and receive config pushes, but
+//! are never electable — the coordinator must be killable without
+//! taking down the front door.
+
+use hre_ring::RingLabeling;
+use hre_svc::json::{self, Json};
+use std::collections::BTreeMap;
+
+/// Stable identity of a cluster member, chosen at process start and
+/// kept across restarts of the same logical node.
+pub type MemberId = u64;
+
+/// What a member contributes to the cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// Serves elections; a ring position in the control-plane election;
+    /// electable as coordinator.
+    Backend,
+    /// Routes client traffic; observes membership but is never in the
+    /// election ring.
+    Router,
+}
+
+impl Role {
+    /// Stable wire label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Backend => "backend",
+            Role::Router => "router",
+        }
+    }
+
+    /// Parses [`Role::as_str`]'s output.
+    pub fn parse(s: &str) -> Option<Role> {
+        match s {
+            "backend" => Some(Role::Backend),
+            "router" => Some(Role::Router),
+            _ => None,
+        }
+    }
+}
+
+/// Liveness as agreed by gossip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Heartbeating (or not yet declared otherwise).
+    Alive,
+    /// Declared dead after missed heartbeats. Sticky at this
+    /// incarnation; only the member itself can retract it by rejoining
+    /// with a higher incarnation.
+    Dead,
+}
+
+impl Status {
+    /// Stable wire label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Alive => "alive",
+            Status::Dead => "dead",
+        }
+    }
+}
+
+/// One member's record in the view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MemberInfo {
+    /// Stable node id.
+    pub id: MemberId,
+    /// Backend or router.
+    pub role: Role,
+    /// Where the member's control-plane HTTP endpoint listens.
+    pub ctrl_addr: String,
+    /// The data-plane address the member advertises (an `hre-svc`
+    /// `/elect` endpoint for backends; informational for routers).
+    pub serve_addr: String,
+    /// Bumped by the member each time it (re)joins; the merge tiebreak.
+    pub incarnation: u64,
+    /// Liveness at this incarnation.
+    pub status: Status,
+}
+
+impl MemberInfo {
+    /// Whether `self`'s record should replace `old` under the CRDT
+    /// order: higher incarnation wins; at equal incarnations `Dead`
+    /// wins (a declaration of death is not un-sayable at the same
+    /// incarnation).
+    fn supersedes(&self, old: &MemberInfo) -> bool {
+        self.incarnation > old.incarnation
+            || (self.incarnation == old.incarnation
+                && self.status == Status::Dead
+                && old.status == Status::Alive)
+    }
+
+    /// JSON wire form.
+    pub fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("id", Json::Num(self.id as i128)),
+            ("role", Json::Str(self.role.as_str().into())),
+            ("ctrl_addr", Json::Str(self.ctrl_addr.clone())),
+            ("serve_addr", Json::Str(self.serve_addr.clone())),
+            ("incarnation", Json::Num(self.incarnation as i128)),
+            ("status", Json::Str(self.status.as_str().into())),
+        ])
+    }
+
+    /// Parses [`MemberInfo::to_json`]'s output.
+    pub fn from_json(v: &Json) -> Result<MemberInfo, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("member record missing {k:?}"));
+        Ok(MemberInfo {
+            id: field("id")?.as_u64().ok_or("member id must be a u64")?,
+            role: field("role")?
+                .as_str()
+                .and_then(Role::parse)
+                .ok_or("member role must be \"backend\" or \"router\"")?,
+            ctrl_addr: field("ctrl_addr")?.as_str().ok_or("ctrl_addr must be a string")?.into(),
+            serve_addr: field("serve_addr")?.as_str().ok_or("serve_addr must be a string")?.into(),
+            incarnation: field("incarnation")?.as_u64().ok_or("incarnation must be a u64")?,
+            status: match field("status")?.as_str() {
+                Some("alive") => Status::Alive,
+                Some("dead") => Status::Dead,
+                _ => return Err("member status must be \"alive\" or \"dead\"".into()),
+            },
+        })
+    }
+}
+
+/// The membership view: a state-based CRDT over member records.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct View {
+    members: BTreeMap<MemberId, MemberInfo>,
+}
+
+impl View {
+    /// An empty view.
+    pub fn new() -> View {
+        View::default()
+    }
+
+    /// Merges one record; returns whether the view changed.
+    pub fn observe(&mut self, info: MemberInfo) -> bool {
+        match self.members.get(&info.id) {
+            Some(old) if !info.supersedes(old) => false,
+            Some(old) if *old == info => false,
+            _ => {
+                self.members.insert(info.id, info);
+                true
+            }
+        }
+    }
+
+    /// Merges a whole view (pointwise [`View::observe`]); returns
+    /// whether anything changed.
+    pub fn merge(&mut self, other: &View) -> bool {
+        let mut changed = false;
+        for info in other.members.values() {
+            changed |= self.observe(info.clone());
+        }
+        changed
+    }
+
+    /// Declares `id` dead at its current incarnation (missed
+    /// heartbeats). Returns whether the view changed — false if the
+    /// member is unknown or already dead.
+    pub fn declare_dead(&mut self, id: MemberId) -> bool {
+        match self.members.get_mut(&id) {
+            Some(m) if m.status == Status::Alive => {
+                m.status = Status::Dead;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The record for `id`, if known.
+    pub fn member(&self, id: MemberId) -> Option<&MemberInfo> {
+        self.members.get(&id)
+    }
+
+    /// Every record, in id order.
+    pub fn members(&self) -> impl Iterator<Item = &MemberInfo> {
+        self.members.values()
+    }
+
+    /// Every live record, in id order.
+    pub fn live(&self) -> impl Iterator<Item = &MemberInfo> {
+        self.members.values().filter(|m| m.status == Status::Alive)
+    }
+
+    /// Whether `id` is known and alive.
+    pub fn is_live(&self, id: MemberId) -> bool {
+        self.members.get(&id).is_some_and(|m| m.status == Status::Alive)
+    }
+
+    /// The election ring over the live backends, or `None` if there are
+    /// none. Deterministic in the view: every converged member computes
+    /// the identical plan.
+    pub fn ring_plan(&self) -> Option<RingPlan> {
+        let order: Vec<MemberId> =
+            self.live().filter(|m| m.role == Role::Backend).map(|m| m.id).collect();
+        if order.is_empty() {
+            return None;
+        }
+        Some(RingPlan::derive(order))
+    }
+
+    /// JSON wire form: `{"members": [...]}`.
+    pub fn to_json(&self) -> Json {
+        json::obj(vec![(
+            "members",
+            Json::Arr(self.members.values().map(MemberInfo::to_json).collect()),
+        )])
+    }
+
+    /// Parses [`View::to_json`]'s output.
+    pub fn from_json(v: &Json) -> Result<View, String> {
+        let arr =
+            v.get("members").and_then(Json::as_arr).ok_or("view must carry a \"members\" array")?;
+        let mut view = View::new();
+        for m in arr {
+            view.observe(MemberInfo::from_json(m)?);
+        }
+        Ok(view)
+    }
+}
+
+/// SplitMix64 — the same mixer the hash ring and shard key use; good
+/// avalanche behavior from sequential inputs.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The deterministic election ring: live backend ids in id order, each
+/// carrying a derived label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RingPlan {
+    /// Ring order (successor of position `i` is position `(i+1) % n`).
+    pub order: Vec<MemberId>,
+    /// `labels[i]` is the label of `order[i]`.
+    pub labels: Vec<u64>,
+    /// The salt that made the labels distinct (re-derivation check).
+    pub salt: u64,
+}
+
+impl RingPlan {
+    /// Labels every member by hashing its id, bumping the salt until
+    /// all labels are distinct. Distinct labels mean multiplicity 1 —
+    /// the labeling is in `K1` and asymmetric, so `Ak(k=1)` applies and
+    /// a unique true leader exists. Termination: each salt gives n
+    /// independent 64-bit draws; a collision among a handful of members
+    /// is astronomically rare, and any collision just advances the
+    /// salt.
+    fn derive(order: Vec<MemberId>) -> RingPlan {
+        let mut salt = 0u64;
+        loop {
+            let labels: Vec<u64> = order.iter().map(|&id| mix(id ^ mix(salt))).collect();
+            let mut seen = labels.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() == labels.len() {
+                return RingPlan { order, labels, salt };
+            }
+            salt += 1;
+        }
+    }
+
+    /// Number of ring positions.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the plan is empty (never constructed that way, but the
+    /// lint pair to [`RingPlan::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The position of `id` in the ring, if it is a participant.
+    pub fn position(&self, id: MemberId) -> Option<usize> {
+        self.order.iter().position(|&m| m == id)
+    }
+
+    /// The labeling as the core crates see it. Only valid for plans of
+    /// two or more members (the paper assumes `n ≥ 2`); the one-member
+    /// ring never reaches the protocol.
+    pub fn labeling(&self) -> RingLabeling {
+        RingLabeling::from_raw(&self.labels)
+    }
+
+    /// The member that `Ak` must elect: the owner of the Lyndon-word
+    /// rotation — computed from ring structure alone, which is what
+    /// makes election outcomes checkable without running the protocol.
+    /// A single live member is the coordinator by definition.
+    pub fn expected_coordinator(&self) -> MemberId {
+        if self.order.len() == 1 {
+            return self.order[0];
+        }
+        let idx = self
+            .labeling()
+            .true_leader()
+            .expect("distinct labels are asymmetric, so a true leader exists");
+        self.order[idx]
+    }
+
+    /// Maps an elected label back to the member that owns it.
+    pub fn member_with_label(&self, label: u64) -> Option<MemberId> {
+        self.labels.iter().position(|&l| l == label).map(|i| self.order[i])
+    }
+
+    /// JSON wire form (for `prepare` messages).
+    pub fn to_json(&self) -> Json {
+        json::obj(vec![
+            ("order", json::nums(self.order.iter().copied())),
+            ("labels", json::nums(self.labels.iter().copied())),
+            ("salt", Json::Num(self.salt as i128)),
+        ])
+    }
+
+    /// Parses [`RingPlan::to_json`]'s output.
+    pub fn from_json(v: &Json) -> Result<RingPlan, String> {
+        let nums = |k: &str| -> Result<Vec<u64>, String> {
+            v.get(k)
+                .and_then(Json::as_arr)
+                .ok_or(format!("ring plan missing {k:?}"))?
+                .iter()
+                .map(|n| n.as_u64().ok_or(format!("{k} entries must be u64")))
+                .collect()
+        };
+        let plan = RingPlan {
+            order: nums("order")?,
+            labels: nums("labels")?,
+            salt: v.get("salt").and_then(Json::as_u64).ok_or("ring plan missing salt")?,
+        };
+        if plan.order.is_empty() || plan.order.len() != plan.labels.len() {
+            return Err("ring plan order/labels must be non-empty and parallel".into());
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(id: MemberId, incarnation: u64, status: Status) -> MemberInfo {
+        MemberInfo {
+            id,
+            role: Role::Backend,
+            ctrl_addr: format!("127.0.0.1:{}", 9000 + id),
+            serve_addr: format!("127.0.0.1:{}", 8000 + id),
+            incarnation,
+            status,
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_dead_wins_at_equal_incarnation() {
+        let mut a = View::new();
+        let mut b = View::new();
+        a.observe(member(1, 3, Status::Alive));
+        b.observe(member(1, 3, Status::Dead));
+        a.observe(member(2, 1, Status::Dead));
+        b.observe(member(2, 2, Status::Alive)); // rejoin: higher incarnation
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.member(1).unwrap().status, Status::Dead);
+        assert_eq!(ab.member(2).unwrap().status, Status::Alive);
+        assert_eq!(ab.member(2).unwrap().incarnation, 2);
+    }
+
+    #[test]
+    fn merge_is_idempotent_and_view_roundtrips_through_json() {
+        let mut v = View::new();
+        v.observe(member(7, 1, Status::Alive));
+        v.observe(member(3, 4, Status::Dead));
+        let mut twice = v.clone();
+        assert!(!twice.merge(&v), "self-merge must be a no-op");
+        let parsed = View::from_json(&Json::parse(&v.to_json().to_string()).unwrap()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn ring_plan_orders_live_backends_with_distinct_labels() {
+        let mut v = View::new();
+        v.observe(member(9, 1, Status::Alive));
+        v.observe(member(4, 1, Status::Alive));
+        v.observe(member(6, 1, Status::Dead)); // dead: excluded
+        v.observe(MemberInfo { role: Role::Router, ..member(1, 1, Status::Alive) }); // router: excluded
+        let plan = v.ring_plan().unwrap();
+        assert_eq!(plan.order, vec![4, 9]);
+        assert_eq!(plan.labels.len(), 2);
+        assert_ne!(plan.labels[0], plan.labels[1]);
+        let labeling = plan.labeling();
+        assert!(labeling.all_distinct() && labeling.is_asymmetric());
+        // The expected coordinator is one of the participants, stable
+        // across recomputation.
+        let c = plan.expected_coordinator();
+        assert!(plan.order.contains(&c));
+        assert_eq!(v.ring_plan().unwrap().expected_coordinator(), c);
+        // Plan JSON roundtrips (prepare messages carry it).
+        let parsed = RingPlan::from_json(&Json::parse(&plan.to_json().to_string()).unwrap());
+        assert_eq!(parsed.unwrap(), plan);
+    }
+
+    #[test]
+    fn declare_dead_is_sticky_until_a_rejoin_bumps_incarnation() {
+        let mut v = View::new();
+        v.observe(member(5, 2, Status::Alive));
+        assert!(v.declare_dead(5));
+        assert!(!v.declare_dead(5), "already dead");
+        // The stale alive record at the same incarnation cannot resurrect.
+        assert!(!v.observe(member(5, 2, Status::Alive)));
+        assert_eq!(v.member(5).unwrap().status, Status::Dead);
+        // The member itself rejoins with a bumped incarnation.
+        assert!(v.observe(member(5, 3, Status::Alive)));
+        assert!(v.is_live(5));
+    }
+}

@@ -1,0 +1,189 @@
+//! Satellite property: membership convergence.
+//!
+//! Model an arbitrary churn history — joins, graceful leaves, crashes,
+//! rejoins — applied to several members' views in different orders and
+//! interleavings, with gossip modeled as CRDT merges. The control plane
+//! is only correct if, once gossip quiesces:
+//!
+//! 1. every live member holds the **same ring plan** (same member
+//!    order, same labels, hence the same election ring);
+//! 2. every live member computes the **same expected coordinator**
+//!    (the Lyndon-word owner of that ring — the member the real `Ak`
+//!    run must elect);
+//! 3. each membership transition keeps the consistent-hash **remap
+//!    bounded**: going from the ring before an event to the ring after
+//!    it moves at most 2.5/N of a 10k-key sample (the same bound the
+//!    cluster crate pins for static reconfigurations — the control
+//!    plane must not turn churn into cache flushes).
+//!
+//! Everything here is socket-free: `View::merge` is a pure function,
+//! which is exactly why the CRDT design was chosen.
+
+use hre_cluster::HashRing;
+use hre_ctrl::{MemberInfo, Role, Status, View};
+use proptest::prelude::*;
+
+/// One churn event against the cluster.
+#[derive(Clone, Debug)]
+enum Event {
+    /// Member `id` (re)joins with the given incarnation bump.
+    Join(u64),
+    /// Member `id` is declared dead (crash or graceful leave — the
+    /// view cannot tell, and does not need to).
+    Die(u64),
+}
+
+fn member(id: u64, incarnation: u64) -> MemberInfo {
+    MemberInfo {
+        id,
+        role: Role::Backend,
+        ctrl_addr: format!("127.0.0.1:{}", 9100 + id),
+        serve_addr: format!("127.0.0.1:{}", 8100 + id),
+        incarnation,
+        status: Status::Alive,
+    }
+}
+
+/// The deterministic well-spread key sample shared with the cluster
+/// crate's remap properties.
+fn key_sample() -> impl Iterator<Item = u64> {
+    (0..10_000u64).map(|k| k.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(0x61c88647))
+}
+
+fn remap_fraction(a: &HashRing, backends_a: &[String], b: &HashRing, backends_b: &[String]) -> f64 {
+    let mut moved = 0u64;
+    for key in key_sample() {
+        let owner_a = &backends_a[a.primary(key).unwrap()];
+        let owner_b = &backends_b[b.primary(key).unwrap()];
+        // A key "moves" only if both rings can serve it and they
+        // disagree; keys on a removed backend must move somewhere.
+        if owner_a != owner_b && backends_b.contains(owner_a) {
+            moved += 1;
+        }
+    }
+    moved as f64 / 10_000.0
+}
+
+/// Applies one event to the authoritative view, tracking incarnations.
+fn apply(view: &mut View, incarnations: &mut [u64; 8], ev: &Event) {
+    match ev {
+        Event::Join(id) => {
+            incarnations[*id as usize] += 1;
+            view.observe(member(*id, incarnations[*id as usize]));
+        }
+        Event::Die(id) => {
+            view.declare_dead(*id);
+        }
+    }
+}
+
+/// Joins and deaths with equal weight over the 8-member id space (the
+/// vendored proptest has no `prop_oneof!`, so decode from one range).
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (0u64..16).prop_map(|v| if v < 8 { Event::Join(v) } else { Event::Die(v - 8) })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any churn sequence, delivered to every member in any order (here:
+    /// forward, reverse, and odd-events-first interleavings, each as its
+    /// own view), converges all members to one ring plan and one
+    /// expected coordinator once the views merge.
+    #[test]
+    fn any_churn_order_converges_to_one_plan_and_one_coordinator(
+        events in proptest::collection::vec(event_strategy(), 1..24),
+        seed_ids in proptest::collection::vec(0u64..8, 1..5),
+    ) {
+        let seed_members: std::collections::BTreeSet<u64> = seed_ids.into_iter().collect();
+        // Common seed view all members start from.
+        let mut incarnations = [0u64; 8];
+        let mut seed = View::new();
+        for &id in &seed_members {
+            incarnations[id as usize] += 1;
+            seed.observe(member(id, incarnations[id as usize]));
+        }
+
+        // The churn history as per-event delta views (what gossip carries).
+        let mut authoritative = seed.clone();
+        let mut deltas: Vec<View> = Vec::new();
+        for ev in &events {
+            apply(&mut authoritative, &mut incarnations, ev);
+            deltas.push(authoritative.clone());
+        }
+
+        // Three members absorb the deltas in different orders.
+        let mut forward = seed.clone();
+        for d in &deltas { forward.merge(d); }
+        let mut reverse = seed.clone();
+        for d in deltas.iter().rev() { reverse.merge(d); }
+        let mut odds_first = seed.clone();
+        for d in deltas.iter().skip(1).step_by(2) { odds_first.merge(d); }
+        for d in deltas.iter().step_by(2) { odds_first.merge(d); }
+
+        prop_assert_eq!(&forward, &reverse, "merge order must not matter");
+        prop_assert_eq!(&forward, &odds_first, "partial interleaving must converge");
+        prop_assert_eq!(&forward, &authoritative, "members converge to the full history");
+
+        // Converged ⇒ identical ring plan and identical coordinator.
+        let plans: Vec<_> =
+            [&forward, &reverse, &odds_first].iter().map(|v| v.ring_plan()).collect();
+        prop_assert_eq!(&plans[0], &plans[1]);
+        prop_assert_eq!(&plans[0], &plans[2]);
+        if let Some(plan) = &plans[0] {
+            let c = plan.expected_coordinator();
+            prop_assert!(plan.order.contains(&c), "coordinator must be a live backend");
+            // Labels are distinct: the ring is asymmetric, Ak(1) applies.
+            if plan.len() >= 2 {
+                let labeling = plan.labeling();
+                prop_assert!(labeling.all_distinct() && labeling.is_asymmetric());
+            }
+        }
+    }
+
+    /// Every single membership transition keeps the consistent-hash
+    /// remap within the pinned 2.5/N bound, with N the larger of the
+    /// two ring sizes — churn must never amount to a cache flush.
+    #[test]
+    fn each_transition_remaps_at_most_2_5_over_n(
+        events in proptest::collection::vec(event_strategy(), 1..16),
+        seed_ids in proptest::collection::vec(0u64..8, 2..6),
+    ) {
+        let seed_members: std::collections::BTreeSet<u64> = seed_ids.into_iter().collect();
+        const VNODES: usize = 96;
+        let mut incarnations = [0u64; 8];
+        let mut view = View::new();
+        for &id in &seed_members {
+            incarnations[id as usize] += 1;
+            view.observe(member(id, incarnations[id as usize]));
+        }
+        let mut prev: Option<Vec<String>> = view
+            .ring_plan()
+            .map(|p| p.order.iter().map(|id| format!("127.0.0.1:{}", 8100 + id)).collect());
+        for ev in &events {
+            apply(&mut view, &mut incarnations, ev);
+            let next: Option<Vec<String>> = view
+                .ring_plan()
+                .map(|p| p.order.iter().map(|id| format!("127.0.0.1:{}", 8100 + id)).collect());
+            if let (Some(a), Some(b)) = (&prev, &next) {
+                if a != b && !a.is_empty() && !b.is_empty() {
+                    let n = a.len().max(b.len()) as f64;
+                    // Only single-step transitions carry the per-change
+                    // bound; an event can change at most one member.
+                    let delta = a.iter().filter(|x| !b.contains(x)).count()
+                        + b.iter().filter(|x| !a.contains(x)).count();
+                    prop_assert!(delta == 1, "one event changes at most one member");
+                    let ring_a = HashRing::new(a, VNODES);
+                    let ring_b = HashRing::new(b, VNODES);
+                    let moved = remap_fraction(&ring_a, a, &ring_b, b);
+                    prop_assert!(
+                        moved <= 2.5 / n,
+                        "transition {a:?} -> {b:?} moved {moved:.4} > {:.4}",
+                        2.5 / n
+                    );
+                }
+            }
+            prev = next;
+        }
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod fault;
 pub mod frame;
+pub mod link;
 pub mod metrics;
 pub mod node;
 pub mod reliable;
@@ -37,6 +38,7 @@ pub mod wire;
 
 pub use fault::{FaultPolicy, LinkInjector, WireAction};
 pub use frame::{crc32, encode_frame, Frame, FrameError, FrameReader, KIND_ACK, KIND_DATA};
+pub use link::{LinkConfig, LinkTransport, PeerLink};
 pub use metrics::{LinkMetrics, LinkSnapshot, NetSnapshot, RTT_BUCKETS};
 pub use node::{run_tcp, run_tcp_traced, NetOptions, NetReport, TraceHandle};
 pub use reliable::{Offer, Reassembly};

@@ -6,8 +6,8 @@
 //!
 //! * the **driver** runs the unmodified guarded-action process through
 //!   [`hre_runtime::drive_node`] — the very loop the channel runtime
-//!   uses — against a [`NodeTransport`] whose endpoints are in-memory
-//!   queues;
+//!   uses — against a [`hre_runtime::NodeTransport`] whose endpoints
+//!   are in-memory queues;
 //! * the **TX thread** drains the outgoing queue, frames each message
 //!   ([`crate::frame`]), pushes it through the fault injector
 //!   ([`crate::fault`]), and writes it to a TCP connection dialed to the
@@ -19,37 +19,27 @@
 //!   ([`crate::reliable`]), acks, decodes ([`crate::wire`]), and feeds
 //!   the incoming queue.
 //!
+//! The TX/RX loops themselves live in [`crate::link`] — this module
+//! instantiates one [`PeerLink`] pair per ring node, with every peer
+//! address known up front because all listeners are bound in-process.
+//! The control plane reuses the same endpoints across real processes.
+//!
 //! Shutdown is two-phase: drivers finish on their own (halt, wedge, or
 //! timeout — delivery must keep flowing for that, so nothing is torn
-//! down early), then a shared flag retires the TX/RX threads.
+//! down early), then each link is retired via [`PeerLink::close_now`].
 
-use crate::fault::{FaultPolicy, LinkInjector, WireAction};
-use crate::frame::{encode_frame, Frame, FrameError, FrameReader, KIND_ACK, KIND_DATA};
+use crate::fault::FaultPolicy;
+use crate::link::{LinkConfig, PeerLink};
 use crate::metrics::{LinkMetrics, NetSnapshot};
-use crate::reliable::{Offer, Reassembly};
 use crate::wire::WireMessage;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use hre_ring::RingLabeling;
-use hre_runtime::trace::{FlightRecorder, SpanId, Stage, TraceId};
-use hre_runtime::{drive_node, NodeTransport, RecvFault, SendFault, ThreadOutcome};
+use hre_runtime::{drive_node, ThreadOutcome};
 use hre_sim::{Algorithm, ElectionState, ProcessBehavior};
-use std::collections::BTreeMap;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Tick granularity of the TX polling loop.
-const TICK: Duration = Duration::from_micros(500);
-/// How long a reorder-stashed frame waits for a successor frame before
-/// being flushed anyway.
-const REORDER_HOLD: Duration = Duration::from_millis(2);
-/// First reconnect backoff; doubles per failure up to [`BACKOFF_CAP`]
-/// (the shared [`hre_runtime::Backoff`] policy).
-const BACKOFF_START: Duration = Duration::from_millis(1);
-/// Ceiling for the reconnect backoff.
-const BACKOFF_CAP: Duration = Duration::from_millis(100);
+pub use crate::link::TraceHandle;
 
 /// Options for a socket run.
 #[derive(Clone, Copy, Debug)]
@@ -81,12 +71,6 @@ impl Default for NetOptions {
         }
     }
 }
-
-/// Where a traced run reports its wire-level recovery events: the
-/// flight recorder plus the trace and parent span the events attach to.
-/// The transport stays zero-overhead when untraced ([`run_tcp`] passes
-/// `None`), and `NetOptions` stays `Copy`.
-pub type TraceHandle = (Arc<FlightRecorder>, TraceId, SpanId);
 
 /// Result of one socket run. Mirrors
 /// [`hre_runtime::ThreadedReport`] plus the transport ledger.
@@ -130,413 +114,6 @@ impl NetReport {
     }
 }
 
-/// The driver's two link endpoints: in-memory queues serviced by the TX
-/// and RX threads.
-struct TcpTransport<M> {
-    to_tx: Sender<M>,
-    from_rx: Receiver<M>,
-}
-
-impl<M> NodeTransport<M> for TcpTransport<M> {
-    fn send(&mut self, msg: M) -> Result<(), SendFault> {
-        // Unbounded queue: only fails if the TX thread died, which never
-        // happens before the driver itself returns.
-        self.to_tx.send(msg).map_err(|_| SendFault::Disconnected)
-    }
-
-    fn recv(&mut self, idle: Duration) -> Result<M, RecvFault> {
-        match self.from_rx.recv_timeout(idle) {
-            Ok(m) => Ok(m),
-            Err(RecvTimeoutError::Timeout) => Err(RecvFault::Timeout),
-            Err(RecvTimeoutError::Disconnected) => Err(RecvFault::Disconnected),
-        }
-    }
-}
-
-/// One unacknowledged DATA frame in the sender's window.
-struct TxEntry {
-    bytes: Vec<u8>,
-    attempts: u32,
-    first_tx: Option<Instant>,
-    next_due: Instant,
-}
-
-/// Sender side of one link.
-struct TxLoop<M: WireMessage> {
-    from_driver: Receiver<M>,
-    peer: SocketAddr,
-    metrics: Arc<LinkMetrics>,
-    injector: LinkInjector,
-    inject: bool,
-    rto: Duration,
-    drain_deadline: Duration,
-    shutdown: Arc<AtomicBool>,
-    trace: Option<TraceHandle>,
-}
-
-impl<M: WireMessage> TxLoop<M> {
-    fn run(mut self) {
-        let mut conn: Option<(TcpStream, FrameReader)> = None;
-        let mut window: BTreeMap<u64, TxEntry> = BTreeMap::new();
-        let mut delayq: Vec<(Instant, Vec<u8>)> = Vec::new();
-        let mut stash: Option<(Instant, Vec<u8>)> = None;
-        let mut next_seq: u64 = 0;
-        let mut backoff = hre_runtime::Backoff::new(BACKOFF_START, BACKOFF_CAP);
-        let mut connected_once = false;
-        let mut driver_done: Option<Instant> = None;
-        let mut readbuf = [0u8; 4096];
-
-        loop {
-            // When fully idle, block on the driver queue instead of
-            // polling — a fresh message wakes the loop immediately, so
-            // per-hop latency is bounded by the wire, not by a tick.
-            let idle = window.is_empty() && delayq.is_empty() && stash.is_none();
-            if driver_done.is_none() && idle {
-                match self.from_driver.recv_timeout(TICK) {
-                    Ok(m) => {
-                        let now = Instant::now();
-                        let mut payload = Vec::new();
-                        m.encode(&mut payload);
-                        let bytes = encode_frame(next_seq, KIND_DATA, &payload);
-                        window.insert(
-                            next_seq,
-                            TxEntry { bytes, attempts: 0, first_tx: None, next_due: now },
-                        );
-                        next_seq += 1;
-                    }
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => driver_done = Some(Instant::now()),
-                }
-            }
-            let now = Instant::now();
-
-            // Ingest whatever else the driver queued, without blocking.
-            if driver_done.is_none() {
-                loop {
-                    match self.from_driver.try_recv() {
-                        Ok(m) => {
-                            let mut payload = Vec::new();
-                            m.encode(&mut payload);
-                            let bytes = encode_frame(next_seq, KIND_DATA, &payload);
-                            window.insert(
-                                next_seq,
-                                TxEntry { bytes, attempts: 0, first_tx: None, next_due: now },
-                            );
-                            next_seq += 1;
-                        }
-                        Err(TryRecvError::Empty) => break,
-                        Err(TryRecvError::Disconnected) => {
-                            driver_done = Some(now);
-                            break;
-                        }
-                    }
-                }
-            }
-
-            // Exit checks.
-            if self.shutdown.load(Ordering::Relaxed) {
-                return;
-            }
-            if let Some(done_at) = driver_done {
-                let drained = window.is_empty() && delayq.is_empty() && stash.is_none();
-                if drained || now.duration_since(done_at) > self.drain_deadline {
-                    return;
-                }
-            }
-
-            // Ensure a connection exists (dial with capped backoff).
-            if conn.is_none() && (!window.is_empty() || !delayq.is_empty() || stash.is_some()) {
-                match TcpStream::connect(self.peer) {
-                    Ok(s) => {
-                        let _ = s.set_nodelay(true);
-                        let _ = s.set_read_timeout(Some(Duration::from_millis(1)));
-                        let _ = s.set_write_timeout(Some(Duration::from_millis(250)));
-                        if connected_once {
-                            self.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
-                        }
-                        connected_once = true;
-                        backoff.reset();
-                        // Everything unacked replays on the new pipe.
-                        for e in window.values_mut() {
-                            e.next_due = now;
-                        }
-                        conn = Some((s, FrameReader::new()));
-                    }
-                    Err(_) => {
-                        std::thread::sleep(backoff.advance());
-                        continue;
-                    }
-                }
-            }
-
-            let mut io_failed = false;
-
-            if let Some((stream, _)) = conn.as_mut() {
-                // Injected delays whose hold time elapsed.
-                let mut i = 0;
-                while i < delayq.len() {
-                    if delayq[i].0 <= now {
-                        let (_, bytes) = delayq.swap_remove(i);
-                        io_failed |= !write_wire(stream, &bytes, &self.metrics);
-                    } else {
-                        i += 1;
-                    }
-                }
-
-                // A reorder stash that waited long enough goes out as-is.
-                if let Some((since, _)) = stash {
-                    if now.duration_since(since) > REORDER_HOLD {
-                        let (_, bytes) = stash.take().expect("stash checked");
-                        io_failed |= !write_wire(stream, &bytes, &self.metrics);
-                    }
-                }
-            }
-
-            // Transmit every window entry whose (re)send is due.
-            let due: Vec<u64> =
-                window.iter().filter(|(_, e)| e.next_due <= now).map(|(s, _)| *s).collect();
-            for seq in due {
-                if io_failed || conn.is_none() {
-                    break;
-                }
-                let e = window.get_mut(&seq).expect("due seq in window");
-                e.attempts += 1;
-                if e.attempts == 1 {
-                    e.first_tx = Some(now);
-                    self.metrics.frames_sent.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    self.metrics.frames_retried.fetch_add(1, Ordering::Relaxed);
-                    if let Some((rec, trace, parent)) = &self.trace {
-                        rec.record_event(
-                            *trace,
-                            *parent,
-                            Stage::Retransmit,
-                            seq,
-                            e.attempts as u64,
-                        );
-                    }
-                }
-                e.next_due = now + self.rto;
-                let bytes = e.bytes.clone();
-                let action = if self.inject { self.injector.roll() } else { WireAction::Deliver };
-                if action != WireAction::Deliver {
-                    self.metrics.faults_injected.fetch_add(1, Ordering::Relaxed);
-                }
-                let (stream, _) = conn.as_mut().expect("conn checked");
-                match action {
-                    WireAction::Deliver => {
-                        io_failed |= !write_wire(stream, &bytes, &self.metrics);
-                        // A pending reorder stash ships right after its
-                        // successor: the swap is complete.
-                        if let Some((_, stashed)) = stash.take() {
-                            io_failed |= !write_wire(stream, &stashed, &self.metrics);
-                        }
-                    }
-                    WireAction::Drop => {}
-                    WireAction::Duplicate => {
-                        io_failed |= !write_wire(stream, &bytes, &self.metrics);
-                        io_failed |= !write_wire(stream, &bytes, &self.metrics);
-                    }
-                    WireAction::Reorder => {
-                        if let Some((_, prev)) = stash.replace((now, bytes)) {
-                            io_failed |= !write_wire(stream, &prev, &self.metrics);
-                        }
-                    }
-                    WireAction::Delay(d) => delayq.push((now + d, bytes)),
-                    WireAction::Reset => {
-                        conn = None;
-                        e.next_due = now; // replay immediately after redial
-                    }
-                }
-            }
-
-            // Read cumulative ACKs flowing back on the same connection.
-            // Only worth blocking for while something is unacknowledged;
-            // the 1 ms read timeout doubles as the loop's tick then.
-            if !window.is_empty() {
-                if let Some((stream, reader)) = conn.as_mut() {
-                    match stream.read(&mut readbuf) {
-                        Ok(0) => io_failed = true,
-                        Ok(nread) => {
-                            reader.extend(&readbuf[..nread]);
-                            loop {
-                                match reader.next_frame() {
-                                    Some(Ok(Frame { seq: cum, kind: KIND_ACK, .. })) => {
-                                        let acked_at = Instant::now();
-                                        let acked: Vec<u64> =
-                                            window.range(..cum).map(|(s, _)| *s).collect();
-                                        for s in acked {
-                                            let e = window.remove(&s).expect("acked seq in window");
-                                            if e.attempts == 1 {
-                                                if let Some(t0) = e.first_tx {
-                                                    self.metrics
-                                                        .record_rtt(acked_at.duration_since(t0));
-                                                }
-                                            }
-                                        }
-                                    }
-                                    Some(Ok(_)) => {} // stray DATA: ignore
-                                    Some(Err(FrameError::BadLength)) => {
-                                        io_failed = true;
-                                        break;
-                                    }
-                                    Some(Err(_)) => {
-                                        self.metrics
-                                            .frames_rejected
-                                            .fetch_add(1, Ordering::Relaxed);
-                                    }
-                                    None => break,
-                                }
-                            }
-                        }
-                        Err(e)
-                            if e.kind() == std::io::ErrorKind::WouldBlock
-                                || e.kind() == std::io::ErrorKind::TimedOut => {}
-                        Err(_) => io_failed = true,
-                    }
-                }
-            }
-
-            if io_failed {
-                conn = None;
-            }
-            // Pacing: the blocking points above (driver recv when fully
-            // idle, ACK read while awaiting acks) bound the loop in the
-            // common states; only a pending delay/reorder stash with an
-            // empty window still needs an explicit nap.
-            if window.is_empty() && !(delayq.is_empty() && stash.is_none()) {
-                std::thread::sleep(TICK);
-            }
-        }
-    }
-}
-
-/// Writes one frame; returns `false` on any I/O failure (the caller
-/// reconnects; the window replays whatever was lost).
-fn write_wire(stream: &mut TcpStream, bytes: &[u8], metrics: &LinkMetrics) -> bool {
-    match stream.write_all(bytes) {
-        Ok(()) => {
-            metrics.bytes_on_wire.fetch_add(bytes.len() as u64, Ordering::Relaxed);
-            true
-        }
-        Err(_) => false,
-    }
-}
-
-/// Receiver side of one link: accept, verify, reassemble, ack, decode,
-/// deliver. Reassembly state survives reconnects — exactly-once holds
-/// across resets.
-struct RxLoop<M: WireMessage> {
-    listener: TcpListener,
-    to_driver: Sender<M>,
-    metrics: Arc<LinkMetrics>,
-    shutdown: Arc<AtomicBool>,
-    trace: Option<TraceHandle>,
-}
-
-impl<M: WireMessage> RxLoop<M> {
-    fn run(self) {
-        let mut reasm = Reassembly::new();
-        self.listener.set_nonblocking(true).expect("nonblocking listener");
-        let mut readbuf = [0u8; 4096];
-        'accept: while !self.shutdown.load(Ordering::Relaxed) {
-            let mut stream = match self.listener.accept() {
-                Ok((s, _)) => s,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(1));
-                    continue;
-                }
-                Err(_) => {
-                    std::thread::sleep(Duration::from_millis(1));
-                    continue;
-                }
-            };
-            let _ = stream.set_nonblocking(false);
-            let _ = stream.set_nodelay(true);
-            let _ = stream.set_read_timeout(Some(Duration::from_millis(2)));
-            let mut reader = FrameReader::new();
-            loop {
-                if self.shutdown.load(Ordering::Relaxed) {
-                    break 'accept;
-                }
-                match stream.read(&mut readbuf) {
-                    Ok(0) => continue 'accept, // sender closed; await redial
-                    Ok(nread) => {
-                        reader.extend(&readbuf[..nread]);
-                        loop {
-                            match reader.next_frame() {
-                                Some(Ok(Frame { seq, kind: KIND_DATA, payload })) => {
-                                    match reasm.offer(seq, payload) {
-                                        Offer::Delivered(payloads) => {
-                                            for p in payloads {
-                                                match M::decode(&p) {
-                                                    Some(m) => {
-                                                        // The driver may have
-                                                        // halted; late traffic
-                                                        // is irrelevant then.
-                                                        let _ = self.to_driver.send(m);
-                                                    }
-                                                    None => {
-                                                        self.metrics
-                                                            .frames_rejected
-                                                            .fetch_add(1, Ordering::Relaxed);
-                                                    }
-                                                }
-                                            }
-                                        }
-                                        Offer::Buffered => {
-                                            if let Some((rec, trace, parent)) = &self.trace {
-                                                rec.record_event(
-                                                    *trace,
-                                                    *parent,
-                                                    Stage::Reassembly,
-                                                    seq,
-                                                    2,
-                                                );
-                                            }
-                                        }
-                                        Offer::Duplicate => {
-                                            self.metrics
-                                                .dup_frames_rx
-                                                .fetch_add(1, Ordering::Relaxed);
-                                            if let Some((rec, trace, parent)) = &self.trace {
-                                                rec.record_event(
-                                                    *trace,
-                                                    *parent,
-                                                    Stage::Reassembly,
-                                                    seq,
-                                                    1,
-                                                );
-                                            }
-                                        }
-                                    }
-                                    let ack = encode_frame(reasm.cumulative_ack(), KIND_ACK, &[]);
-                                    if stream.write_all(&ack).is_ok() {
-                                        self.metrics.acks_sent.fetch_add(1, Ordering::Relaxed);
-                                        self.metrics
-                                            .bytes_on_wire
-                                            .fetch_add(ack.len() as u64, Ordering::Relaxed);
-                                    }
-                                }
-                                Some(Ok(_)) => {} // stray ACK: ignore
-                                Some(Err(FrameError::BadLength)) => continue 'accept,
-                                Some(Err(_)) => {
-                                    self.metrics.frames_rejected.fetch_add(1, Ordering::Relaxed);
-                                }
-                                None => break,
-                            }
-                        }
-                    }
-                    Err(e)
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut => {}
-                    Err(_) => continue 'accept,
-                }
-            }
-        }
-    }
-}
-
 /// Runs `algo` on `ring` over real TCP sockets on loopback.
 ///
 /// Each link is recovered to the model's reliable FIFO exactly-once
@@ -570,7 +147,6 @@ where
 {
     let n = ring.n();
     let started = Instant::now();
-    let shutdown = Arc::new(AtomicBool::new(false));
 
     // One listener per node, bound first so every peer address is known
     // before any thread starts.
@@ -586,43 +162,29 @@ where
     // metrics are shared by i's TX thread and (i+1)'s RX thread.
     let links: Vec<Arc<LinkMetrics>> = (0..n).map(|_| Arc::new(LinkMetrics::default())).collect();
 
-    let mut tx_handles = Vec::with_capacity(n);
-    let mut rx_handles = Vec::with_capacity(n);
+    let mut link_handles = Vec::with_capacity(n);
     let mut driver_handles = Vec::with_capacity(n);
 
     for (i, listener) in listeners.into_iter().enumerate() {
-        let (to_tx, from_driver) = unbounded();
-        let (to_driver, from_rx) = unbounded();
-
-        let rx = RxLoop::<<A::Proc as ProcessBehavior>::Msg> {
-            listener,
-            to_driver,
-            metrics: Arc::clone(&links[(i + n - 1) % n]),
-            shutdown: Arc::clone(&shutdown),
-            trace: trace.clone(),
-        };
-        rx_handles.push(std::thread::spawn(move || rx.run()));
-
-        let tx = TxLoop::<<A::Proc as ProcessBehavior>::Msg> {
-            from_driver,
-            peer: addrs[(i + 1) % n],
-            metrics: Arc::clone(&links[i]),
-            injector: LinkInjector::new(
-                opts.faults,
-                opts.fault_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            ),
-            inject: !opts.faults.is_none(),
-            rto: opts.retransmit_timeout,
+        let cfg = LinkConfig {
+            retransmit_timeout: opts.retransmit_timeout,
             drain_deadline: opts.drain_deadline,
-            shutdown: Arc::clone(&shutdown),
-            trace: trace.clone(),
+            faults: opts.faults,
+            fault_seed: opts.fault_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         };
-        tx_handles.push(std::thread::spawn(move || tx.run()));
+        let (link, mut transport) = PeerLink::open::<<A::Proc as ProcessBehavior>::Msg>(
+            listener,
+            addrs[(i + 1) % n],
+            Arc::clone(&links[i]),
+            Arc::clone(&links[(i + n - 1) % n]),
+            cfg,
+            trace.clone(),
+        );
+        link_handles.push(link);
 
         let mut proc = algo.spawn(ring.label(i));
         let idle = opts.idle_timeout;
         driver_handles.push(std::thread::spawn(move || {
-            let mut transport = TcpTransport { to_tx, from_rx };
             let (outcome, sent) = drive_node(&mut proc, &mut transport, idle);
             // Dropping the transport disconnects the TX queue: the TX
             // thread drains its window, then retires.
@@ -641,12 +203,8 @@ where
     }
 
     // Every driver is done; nothing left needs delivery. Retire the wire.
-    shutdown.store(true, Ordering::Relaxed);
-    for h in tx_handles {
-        h.join().expect("tx thread panicked");
-    }
-    for h in rx_handles {
-        h.join().expect("rx thread panicked");
+    for link in link_handles {
+        link.close_now();
     }
 
     NetReport {

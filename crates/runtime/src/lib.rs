@@ -20,11 +20,13 @@
 
 pub mod backoff;
 pub mod driver;
+pub mod epoch;
 pub mod hist;
 pub mod trace;
 
 pub use backoff::Backoff;
 pub use driver::{drive_node, NodeTransport, RecvFault, SendFault, ThreadOutcome};
+pub use epoch::EpochClock;
 pub use hist::{bucket_of, render_prometheus_histogram, HistSnapshot, Log2Histogram, LOG2_BUCKETS};
 pub use trace::{FlightRecorder, SpanAttrs, SpanId, SpanRecord, Stage, TraceId, DEFAULT_TRACE_CAP};
 

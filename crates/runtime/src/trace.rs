@@ -132,10 +132,16 @@ pub enum Stage {
     Retransmit,
     /// Transport: reassembly event (`a` = seq; `b` = 1 dup, 2 buffered).
     Reassembly,
+    /// Control plane: one membership round — view change through the
+    /// `Ak` coordinator election (`a` = epoch, `b` = ring size).
+    Membership,
+    /// Control plane: a topology config push applied or refused
+    /// (`a` = epoch, `b` = 1 accepted / 0 rejected as stale).
+    Reconfigure,
 }
 
 /// Number of distinct stages (length of [`Stage::ALL`]).
-pub const STAGE_COUNT: usize = 12;
+pub const STAGE_COUNT: usize = 14;
 
 impl Stage {
     /// Every stage, indexed by its wire code.
@@ -152,6 +158,8 @@ impl Stage {
         Stage::Election,
         Stage::Retransmit,
         Stage::Reassembly,
+        Stage::Membership,
+        Stage::Reconfigure,
     ];
 
     /// Stable lowercase name (Prometheus `stage` label, JSON, trees).
@@ -169,6 +177,8 @@ impl Stage {
             Stage::Election => "election",
             Stage::Retransmit => "retransmit",
             Stage::Reassembly => "reassembly",
+            Stage::Membership => "membership",
+            Stage::Reconfigure => "reconfigure",
         }
     }
 
@@ -194,6 +204,10 @@ impl Stage {
             Stage::Retransmit => format!("seq={a} attempt={b}"),
             Stage::Reassembly => {
                 format!("seq={a} {}", if b == 1 { "duplicate" } else { "buffered" })
+            }
+            Stage::Membership => format!("epoch={a} ring={b}"),
+            Stage::Reconfigure => {
+                format!("epoch={a} {}", if b == 1 { "accepted" } else { "rejected" })
             }
             Stage::Request | Stage::QueueWait | Stage::Execute => String::new(),
         }

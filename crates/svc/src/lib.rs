@@ -45,5 +45,5 @@ pub use bench::{run_load, LoadOptions, LoadReport};
 pub use cache::{CacheKey, CacheSnapshot, ShardedLru};
 pub use http::{Client, ClientResponse, DEFAULT_MAX_BODY};
 pub use json::Json;
-pub use metrics::SvcMetrics;
-pub use server::{start, ServerHandle, SvcConfig, SvcSummary};
+pub use metrics::{naming_violations, SvcMetrics};
+pub use server::{start, ServerHandle, StatusProvider, SvcConfig, SvcSummary};

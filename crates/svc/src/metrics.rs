@@ -6,21 +6,20 @@
 //! text exposition format: `# HELP`/`# TYPE` preamble, cumulative `le`
 //! buckets for histograms, and gauges for instantaneous values.
 //!
-//! ## Naming conventions (and the deprecation window)
+//! ## Naming conventions
 //!
-//! Canonical names follow the Prometheus conventions the cluster
+//! Every exported name follows the Prometheus conventions the cluster
 //! metrics use: `hre_` prefix, counters end in `_total` (with the unit
 //! or outcome *before* the suffix, e.g. `hre_svc_requests_elect_ok_total`),
-//! and time series use `_seconds` in base units. The first cut of this
-//! module predates the audit and shipped `hre_svc_requests_total_*`
-//! (suffix in the middle) and a `_microseconds` histogram; those names
-//! are still emitted as **deprecated aliases** so existing scrapes and
-//! dashboards keep working for one release, after which the aliases go
-//! away. Every alias's `# HELP` line names its replacement.
+//! and time series use `_seconds` in base units. The pre-audit aliases
+//! (`hre_svc_requests_total_*`, the `_microseconds` series) were kept
+//! for one deprecation release and are now gone; the
+//! `conforms_to_naming_conventions` test and a CI grep over a live
+//! scrape keep regressions out.
 
 use crate::cache::CacheSnapshot;
 use hre_runtime::trace::Stage;
-use hre_runtime::{render_prometheus_histogram, HistSnapshot, Log2Histogram, LOG2_BUCKETS};
+use hre_runtime::{render_prometheus_histogram, HistSnapshot, Log2Histogram};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -81,44 +80,34 @@ impl SvcMetrics {
         fn counter(out: &mut String, name: &str, help: &str, value: u64) {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
         }
-        // Canonical name plus its pre-audit alias, kept for one release.
-        fn aliased(out: &mut String, canonical: &str, deprecated: &str, help: &str, value: u64) {
-            counter(out, canonical, help, value);
-            counter(out, deprecated, &format!("{help} (deprecated alias of {canonical})"), value);
-        }
         let mut out = String::with_capacity(8192);
-        aliased(
+        counter(
             &mut out,
             "hre_svc_requests_elect_ok_total",
-            "hre_svc_requests_total_elect_ok",
             "POST /elect requests answered 200",
             self.elect_ok.load(Ordering::Relaxed),
         );
-        aliased(
+        counter(
             &mut out,
             "hre_svc_requests_elect_failed_total",
-            "hre_svc_requests_total_elect_failed",
             "POST /elect requests answered 422 (spec violated)",
             self.elect_failed.load(Ordering::Relaxed),
         );
-        aliased(
+        counter(
             &mut out,
             "hre_svc_requests_bad_total",
-            "hre_svc_requests_total_bad",
             "requests answered 400",
             self.bad_requests.load(Ordering::Relaxed),
         );
-        aliased(
+        counter(
             &mut out,
             "hre_svc_requests_rejected_busy_total",
-            "hre_svc_requests_total_rejected_busy",
             "requests answered 503 because the job queue was full",
             self.rejected_busy.load(Ordering::Relaxed),
         );
-        aliased(
+        counter(
             &mut out,
             "hre_svc_requests_deadline_expired_total",
-            "hre_svc_requests_total_deadline_expired",
             "requests answered 504 after their deadline passed",
             self.deadline_expired.load(Ordering::Relaxed),
         );
@@ -128,24 +117,21 @@ impl SvcMetrics {
             "jobs discarded unexecuted because their deadline had passed",
             self.jobs_dropped_stale.load(Ordering::Relaxed),
         );
-        aliased(
+        counter(
             &mut out,
             "hre_svc_requests_healthz_total",
-            "hre_svc_requests_total_healthz",
             "GET /healthz requests",
             self.health_checks.load(Ordering::Relaxed),
         );
-        aliased(
+        counter(
             &mut out,
             "hre_svc_requests_metrics_total",
-            "hre_svc_requests_total_metrics",
             "GET /metrics requests",
             self.metrics_scrapes.load(Ordering::Relaxed),
         );
-        aliased(
+        counter(
             &mut out,
             "hre_svc_requests_not_found_total",
-            "hre_svc_requests_total_not_found",
             "requests answered 404 or 405",
             self.not_found.load(Ordering::Relaxed),
         );
@@ -164,7 +150,6 @@ impl SvcMetrics {
             "result cache evictions",
             cache.evictions,
         );
-        // Time in base seconds (canonical) and the pre-audit µs alias.
         let busy_us = self.worker_busy_us.load(Ordering::Relaxed);
         out.push_str(&format!(
             "# HELP hre_svc_worker_busy_seconds_total cumulative seconds workers spent \
@@ -172,13 +157,6 @@ impl SvcMetrics {
              hre_svc_worker_busy_seconds_total {}\n",
             busy_us as f64 / 1e6
         ));
-        counter(
-            &mut out,
-            "hre_svc_worker_busy_microseconds_total",
-            "cumulative microseconds workers spent executing jobs \
-             (deprecated alias of hre_svc_worker_busy_seconds_total)",
-            busy_us,
-        );
 
         let mut gauge = |name: &str, help: &str, value: i64| {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"));
@@ -197,10 +175,8 @@ impl SvcMetrics {
         gauge("hre_svc_queue_capacity", "capacity of the bounded job queue", queue_cap as i64);
         gauge("hre_svc_cache_entries", "entries resident in the result cache", cache.len as i64);
 
-        // Latency histogram: bucket i covers latencies < 2^(i+1) µs.
-        // Canonical series in base seconds (shared renderer — audited
-        // `le` edges); the original µs-bounded series stays as a
-        // deprecated alias for one release.
+        // Latency histogram in base seconds (shared renderer — audited
+        // `le` edges).
         let snap = self.elect_latency.snapshot();
         render_prometheus_histogram(
             &mut out,
@@ -222,35 +198,46 @@ impl SvcMetrics {
                 stage_snap,
             );
         }
-
-        let name = "hre_svc_elect_latency_microseconds";
-        out.push_str(&format!(
-            "# HELP {name} end-to-end latency of /elect requests \
-             (deprecated alias of hre_svc_elect_latency_seconds)\n# TYPE {name} histogram\n"
-        ));
-        let mut cumulative = 0u64;
-        for (i, &b) in snap.buckets.iter().enumerate() {
-            cumulative += b;
-            if i + 1 < LOG2_BUCKETS {
-                out.push_str(&format!(
-                    "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
-                    1u64 << (i + 1)
-                ));
-            }
-        }
-        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", snap.count));
-        out.push_str(&format!("{name}_sum {}\n", snap.sum_us));
-        out.push_str(&format!("{name}_count {}\n", snap.count));
         out
     }
+}
+
+/// Checks one Prometheus exposition against the repo's naming
+/// conventions: every `# TYPE` name carries the `hre_` prefix, counters
+/// end `_total`, histograms end `_seconds`, and gauges are instantaneous
+/// values with no unit suffix to get wrong. Returns the offending lines.
+///
+/// Shared by the svc and cluster conformance tests (and mirrored by the
+/// CI grep over live scrapes) so a deprecated-style alias can't sneak
+/// back into either daemon.
+pub fn naming_violations(exposition: &str) -> Vec<String> {
+    let mut bad = Vec::new();
+    for line in exposition.lines() {
+        let Some(rest) = line.strip_prefix("# TYPE ") else { continue };
+        let mut parts = rest.split_whitespace();
+        let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
+            bad.push(line.to_string());
+            continue;
+        };
+        let ok = name.starts_with("hre_")
+            && match kind {
+                "counter" => name.ends_with("_total"),
+                "histogram" => name.ends_with("_seconds"),
+                "gauge" => !name.ends_with("_total") && !name.ends_with("_seconds"),
+                _ => false,
+            };
+        if !ok {
+            bad.push(line.to_string());
+        }
+    }
+    bad
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn renders_prometheus_text() {
+    fn sample_text() -> String {
         let m = SvcMetrics::default();
         SvcMetrics::inc(&m.elect_ok);
         SvcMetrics::inc(&m.elect_ok);
@@ -262,19 +249,19 @@ mod tests {
         let stage_hist = Log2Histogram::default();
         stage_hist.record(Duration::from_micros(50));
         let stages = vec![(Stage::Execute, stage_hist.snapshot())];
-        let text = m.render_prometheus(&cache, 4, 256, &stages);
-        // Canonical (post-audit) names.
+        m.render_prometheus(&cache, 4, 256, &stages)
+    }
+
+    #[test]
+    fn renders_prometheus_text() {
+        let text = sample_text();
         assert!(text.contains("hre_svc_requests_elect_ok_total 2\n"), "{text}");
         assert!(text.contains("hre_svc_requests_rejected_busy_total 1\n"), "{text}");
         assert!(text.contains("hre_svc_worker_busy_seconds_total 0\n"), "{text}");
-        // Deprecated aliases stay for one release, flagged in HELP.
-        assert!(text.contains("hre_svc_requests_total_elect_ok 2\n"), "{text}");
-        assert!(text.contains("hre_svc_requests_total_rejected_busy 1\n"), "{text}");
-        assert!(text.contains("deprecated alias of hre_svc_requests_elect_ok_total"), "{text}");
         assert!(text.contains("hre_svc_cache_hits_total 7\n"), "{text}");
         assert!(text.contains("hre_svc_queue_depth 3\n"), "{text}");
         assert!(text.contains("hre_svc_workers 4\n"), "{text}");
-        // Canonical histogram in base seconds…
+        // Histogram in base seconds.
         assert!(text.contains("# TYPE hre_svc_elect_latency_seconds histogram"), "{text}");
         assert!(text.contains("hre_svc_elect_latency_seconds_count 2\n"), "{text}");
         assert!(
@@ -289,19 +276,33 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("hre_stage_seconds_count{stage=\"execute\"} 1\n"), "{text}");
-        // …and the µs alias, identical counts.
-        assert!(text.contains("# TYPE hre_svc_elect_latency_microseconds histogram"), "{text}");
-        assert!(text.contains("hre_svc_elect_latency_microseconds_count 2\n"), "{text}");
-        assert!(text.contains("le=\"+Inf\"} 2\n"), "{text}");
-        // 100 µs lands in bucket le=128; both samples are <= 8192.
-        assert!(text.contains("le=\"128\"} 1\n"), "{text}");
-        assert!(text.contains("le=\"8192\"} 2\n"), "{text}");
-        // Every histogram line is monotone non-decreasing.
-        let counts: Vec<u64> = text
-            .lines()
-            .filter(|l| l.starts_with("hre_svc_elect_latency_microseconds_bucket"))
-            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
-            .collect();
-        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    /// The deprecation window is over: the pre-audit alias names must be
+    /// gone and must not come back.
+    #[test]
+    fn deprecated_aliases_are_gone() {
+        let text = sample_text();
+        assert!(!text.contains("hre_svc_requests_total_"), "{text}");
+        assert!(!text.contains("microseconds"), "{text}");
+        assert!(!text.contains("deprecated"), "{text}");
+    }
+
+    #[test]
+    fn conforms_to_naming_conventions() {
+        let text = sample_text();
+        let bad = naming_violations(&text);
+        assert!(bad.is_empty(), "non-conforming metric names: {bad:?}");
+    }
+
+    #[test]
+    fn naming_violations_flags_offenders() {
+        let bad = naming_violations(
+            "# TYPE hre_good_total counter\n\
+             # TYPE hre_svc_requests_total_elect_ok counter\n\
+             # TYPE hre_latency_microseconds histogram\n\
+             # TYPE svc_no_prefix gauge\n",
+        );
+        assert_eq!(bad.len(), 3, "{bad:?}");
     }
 }

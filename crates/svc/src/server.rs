@@ -61,6 +61,34 @@ pub struct SvcConfig {
     /// Requests slower than this log their span tree to stderr
     /// (`None` disables the slow-request log).
     pub slow_threshold: Option<Duration>,
+    /// Provider for the `GET /ctrl` control-plane status document;
+    /// `None` (no control plane attached) answers 404.
+    pub ctrl_status: Option<StatusProvider>,
+}
+
+/// A pluggable source for the `GET /ctrl` status document. The daemon
+/// knows nothing about the control plane; whoever embeds it (the CLI,
+/// the cluster router, a test) injects a closure that renders the
+/// current membership/coordinator state as a JSON string.
+#[derive(Clone)]
+pub struct StatusProvider(Arc<dyn Fn() -> String + Send + Sync>);
+
+impl StatusProvider {
+    /// Wraps a closure that renders the current status as JSON text.
+    pub fn new(f: impl Fn() -> String + Send + Sync + 'static) -> StatusProvider {
+        StatusProvider(Arc::new(f))
+    }
+
+    /// Renders the current status document.
+    pub fn get(&self) -> String {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for StatusProvider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("StatusProvider(..)")
+    }
 }
 
 impl Default for SvcConfig {
@@ -75,6 +103,7 @@ impl Default for SvcConfig {
             max_body: DEFAULT_MAX_BODY,
             trace_cap: DEFAULT_TRACE_CAP,
             slow_threshold: Some(Duration::from_secs(1)),
+            ctrl_status: None,
         }
     }
 }
@@ -386,6 +415,13 @@ fn route(req: &Request, shared: &Shared, job_tx: &Sender<Job>) -> Response {
         ("GET", path) if path.starts_with("/trace/") => {
             handle_trace(&path["/trace/".len()..], &shared.recorder)
         }
+        ("GET", "/ctrl") => match &shared.cfg.ctrl_status {
+            Some(provider) => Response::json(200, provider.get()),
+            None => {
+                SvcMetrics::inc(&shared.metrics.not_found);
+                Response::json(404, api::error_json("no control plane attached"))
+            }
+        },
         ("POST", _) | ("GET", _) => {
             SvcMetrics::inc(&shared.metrics.not_found);
             Response::json(404, api::error_json("no such endpoint"))
@@ -648,7 +684,11 @@ mod tests {
         assert_eq!(r.status, 200);
         let text = r.body_text();
         assert!(text.contains("hre_svc_cache_hits_total 1"), "{text}");
-        assert!(text.contains("hre_svc_requests_total_elect_ok 2"), "{text}");
+        assert!(text.contains("hre_svc_requests_elect_ok_total 2"), "{text}");
+        assert!(
+            crate::metrics::naming_violations(&text).is_empty(),
+            "live scrape violates naming conventions: {text}"
+        );
 
         let summary = handle.shutdown();
         assert_eq!(summary.elect_ok, 2);

@@ -127,13 +127,13 @@ fn concurrent_mixed_workload_agrees_with_sim_and_metrics_reconcile() {
     let resp = client.get("/metrics").expect("metrics");
     assert_eq!(resp.status, 200);
     let text = resp.body_text();
-    assert_eq!(metric(&text, "hre_svc_requests_total_elect_ok"), total);
+    assert_eq!(metric(&text, "hre_svc_requests_elect_ok_total"), total);
     assert_eq!(metric(&text, "hre_svc_cache_hits_total"), seen.hits);
     assert_eq!(metric(&text, "hre_svc_cache_misses_total"), seen.misses);
-    assert_eq!(metric(&text, "hre_svc_requests_total_elect_failed"), 0);
-    assert_eq!(metric(&text, "hre_svc_requests_total_rejected_busy"), 0);
-    assert_eq!(metric(&text, "hre_svc_elect_latency_microseconds_count"), total);
-    assert_eq!(metric(&text, "hre_svc_requests_total_metrics"), 1);
+    assert_eq!(metric(&text, "hre_svc_requests_elect_failed_total"), 0);
+    assert_eq!(metric(&text, "hre_svc_requests_rejected_busy_total"), 0);
+    assert_eq!(metric(&text, "hre_svc_elect_latency_seconds_count"), total);
+    assert_eq!(metric(&text, "hre_svc_requests_metrics_total"), 1);
     assert!(metric(&text, "hre_svc_connections_total") >= 4);
 
     // healthz still fine under/after load, and the drain is clean.

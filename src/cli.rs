@@ -42,14 +42,27 @@ USAGE:
         [--trace-cap T]      flight-recorder span capacity; 0 = off (default 4096)
         [--slow-ms S]        log span trees of requests slower than S ms;
                              0 disables the slow-request log (default 1000)
+        [--ctrl]             run a control-plane node: gossip membership, elect
+                             the cluster coordinator with Ak over TCP
+        [--join S1,S2,...]   control-plane seed addresses to join through
+                             (implies --ctrl; empty bootstraps a new cluster)
+        [--ctrl-addr A]      control-plane listen address (default 127.0.0.1:0)
+        [--node-id I]        stable node id (default: derived from the serve address)
   hre bench-svc [--addr A] [--requests N] [--connections C]   load-test a daemon
         [--ring L0,L1,...] [--algo A] [--k K] [--no-rotate]
         [--workers W] [--cache-cap C]      (no --addr: spins up an in-process daemon)
   hre cluster-route --backends A1,A2,...   front a set of daemons with the router
         [--addr A] [--vnodes V] [--hedge-min-ms H] [--failure-threshold F]
         [--max-body B] [--trace-cap T] [--slow-ms S]   (as for hre serve)
+        [--ctrl] [--join S1,S2,...] [--ctrl-addr A]    join the control plane as an
+                             observer: the elected coordinator pushes the backend
+                             list, so --backends becomes optional (dynamic topology)
         (defaults: 127.0.0.1:8090, 128 vnodes, hedge floor 30 ms, threshold 3;
          rotation-affinity placement, breaker failover, drains on SIGTERM/ctrl-c)
+  hre ctrl-status --addr A                 control-plane status of a live node
+        (any /ctrl endpoint: a daemon, a router, or a bare control address)
+  hre ctrl-ring --addr A                   render the election ring a node sees
+        (who is in the labeled unidirectional ring, labels, coordinator)
   hre trace --addr A [--id HEX]            fetch traces from a live daemon
         (no --id: list recent root spans; --id: render that trace's span
          tree — on a router, merged with the backends' spans)
@@ -57,6 +70,11 @@ USAGE:
         [--rings W] [--n SIZE] [--no-rotate]
         [--nodes B] [--cache-cap C]        (no --addr: spins up B in-process
                                             backends behind an in-process router)
+        [--churn] [--kills K]              self-hosting churn mode (in-process only):
+                             the cluster elects its own coordinator, K times the
+                             current coordinator is killed mid-load and a fresh
+                             member rejoins; reports re-election latency p50/p95
+                             alongside request latency (default 2 kills)
   hre bench-core [--sizes N1,N2,...] [--k K] [--threads T] [--seed S] [--json]
         in-process engine throughput: full Ak/Bk elections per second,
         messages per second, and a peak-memory proxy, per ring size
@@ -76,7 +94,7 @@ pub fn parse(args: &[String]) -> Option<(String, Opts)> {
     let mut i = 0;
     while i < rest.len() {
         let key = rest[i].strip_prefix("--")?.to_string();
-        if key == "phases" || key == "diagram" || key == "json" || key == "no-rotate" {
+        if matches!(key.as_str(), "phases" | "diagram" | "json" | "no-rotate" | "ctrl" | "churn") {
             opts.insert(key, "true".into());
             i += 1;
             continue;
@@ -102,6 +120,8 @@ pub fn dispatch(cmd: &str, opts: &Opts) -> Result<String, String> {
         "bench-cluster" => bench_cluster_cmd(opts),
         "bench-core" => bench_core_cmd(opts),
         "trace" => trace_cmd(opts),
+        "ctrl-status" => ctrl_status_cmd(opts),
+        "ctrl-ring" => ctrl_ring_cmd(opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command '{other}'")),
     }
@@ -503,17 +523,97 @@ fn svc_config_from(opts: &Opts, default_addr: &str) -> Result<SvcConfig, String>
         trace_cap: u64_opt(opts, "trace-cap", hre_runtime::trace::DEFAULT_TRACE_CAP as u64)?
             as usize,
         slow_threshold: (slow_ms > 0).then(|| std::time::Duration::from_millis(slow_ms)),
+        ctrl_status: None,
+    })
+}
+
+/// Whether this invocation asked for a control-plane node: `--ctrl`
+/// explicitly, or `--join` (joining seeds implies running one).
+fn wants_ctrl(opts: &Opts) -> bool {
+    opts.contains_key("ctrl") || opts.contains_key("join")
+}
+
+/// Control-plane node config from the shared `--join`/`--ctrl-addr`/
+/// `--node-id` options; `serve_addr` is the data-plane address this
+/// member advertises (known only after the daemon binds).
+fn ctrl_cfg_from(
+    opts: &Opts,
+    role: crate::ctrl::Role,
+    serve_addr: String,
+    recorder: std::sync::Arc<hre_runtime::trace::FlightRecorder>,
+) -> Result<crate::ctrl::CtrlConfig, String> {
+    let seeds: Vec<String> = opts
+        .get("join")
+        .map(|s| s.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect())
+        .unwrap_or_default();
+    let node_id = match opts.get("node-id") {
+        Some(s) => Some(s.parse::<u64>().map_err(|e| format!("bad --node-id: {e}"))?),
+        None => None,
+    };
+    Ok(crate::ctrl::CtrlConfig {
+        node_id,
+        role,
+        ctrl_addr: opts.get("ctrl-addr").cloned().unwrap_or_else(|| "127.0.0.1:0".into()),
+        serve_addr,
+        seeds,
+        recorder: Some(recorder),
+        ..Default::default()
     })
 }
 
 /// `hre serve`: run the daemon until SIGTERM/SIGINT, then drain.
 ///
+/// With `--ctrl` (or `--join`), the daemon also runs a control-plane
+/// node: it gossips membership, takes part in the `Ak` coordinator
+/// election over TCP, and serves the control document on the daemon's
+/// own `GET /ctrl`.
+///
 /// The listening banner is printed eagerly (the command only returns
 /// after the drain), so orchestration scripts can wait for readiness on
 /// stdout or just poll `GET /healthz`.
 fn serve_cmd(opts: &Opts) -> Result<String, String> {
-    let cfg = svc_config_from(opts, "127.0.0.1:8080")?;
+    let mut cfg = svc_config_from(opts, "127.0.0.1:8080")?;
+    // The control node needs the daemon's bound address, which exists
+    // only after the daemon starts — so `GET /ctrl` gets a late-bound
+    // provider that delegates once the node is up.
+    let late: std::sync::Arc<std::sync::Mutex<Option<crate::svc::StatusProvider>>> =
+        std::sync::Arc::new(std::sync::Mutex::new(None));
+    if wants_ctrl(opts) {
+        let late = std::sync::Arc::clone(&late);
+        cfg.ctrl_status = Some(crate::svc::StatusProvider::new(move || {
+            late.lock()
+                .unwrap()
+                .as_ref()
+                .map(|p| p.get())
+                .unwrap_or_else(|| "{\"error\":\"control plane still starting\"}".to_string())
+        }));
+    }
     let handle = crate::svc::start(cfg.clone()).map_err(|e| format!("cannot start daemon: {e}"))?;
+    let ctrl = if wants_ctrl(opts) {
+        let ccfg = ctrl_cfg_from(
+            opts,
+            crate::ctrl::Role::Backend,
+            handle.addr.to_string(),
+            handle.recorder(),
+        )?;
+        let seeds = ccfg.seeds.clone();
+        let node =
+            crate::ctrl::start(ccfg).map_err(|e| format!("cannot start control node: {e}"))?;
+        *late.lock().unwrap() = Some(node.status_provider());
+        println!(
+            "control plane on http://{} — node {}, {}",
+            node.addr,
+            node.member_id(),
+            if seeds.is_empty() {
+                "bootstrapping a new cluster".to_string()
+            } else {
+                format!("joining via {}", seeds.join(", "))
+            }
+        );
+        Some(node)
+    } else {
+        None
+    };
     let flag = handle.shutdown_flag();
     for sig in [signal_hook::consts::SIGTERM, signal_hook::consts::SIGINT] {
         signal_hook::flag::register(sig, std::sync::Arc::clone(&flag))
@@ -528,11 +628,14 @@ fn serve_cmd(opts: &Opts) -> Result<String, String> {
         cfg.deadline.as_millis()
     );
     println!(
-        "POST /elect | GET /healthz | GET /metrics | GET /trace/recent — \
+        "POST /elect | GET /healthz | GET /metrics | GET /ctrl | GET /trace/recent — \
          SIGTERM or ctrl-c drains and exits"
     );
     let _ = std::io::Write::flush(&mut std::io::stdout());
     let summary = handle.run_until(&flag);
+    if let Some(node) = ctrl {
+        node.shutdown();
+    }
     Ok(format!("drained cleanly\n{summary}"))
 }
 
@@ -598,18 +701,28 @@ fn bench_svc_cmd(opts: &Opts) -> Result<String, String> {
 
 /// `hre cluster-route`: run the front-door router over a set of backend
 /// daemons until SIGTERM/SIGINT, then drain.
+///
+/// With `--ctrl` (or `--join`), the router also joins the control plane
+/// as a non-electable **observer**: the elected coordinator's config
+/// pushes become the router's topology source (so `--backends` is
+/// optional and serves only as a static warm start), and a member the
+/// control plane declares dead has its breaker tripped immediately.
 fn cluster_route_cmd(opts: &Opts) -> Result<String, String> {
-    let backends: Vec<String> = opts
-        .get("backends")
-        .ok_or("--backends is required (comma-separated daemon addresses)")?
-        .split(',')
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .collect();
+    let with_ctrl = wants_ctrl(opts);
+    let backends: Vec<String> = match opts.get("backends") {
+        Some(s) => s.split(',').map(|x| x.trim().to_string()).filter(|x| !x.is_empty()).collect(),
+        None if with_ctrl => Vec::new(),
+        None => {
+            return Err("--backends is required (comma-separated daemon addresses); \
+                        only --ctrl routers may start without it"
+                .into())
+        }
+    };
     let slow_ms = u64_opt(opts, "slow-ms", 1000)?;
     let cfg = crate::cluster::ClusterConfig {
         addr: opts.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:8090".into()),
         backends,
+        dynamic: with_ctrl,
         vnodes: u64_opt(opts, "vnodes", 128)? as usize,
         hedge_min: std::time::Duration::from_millis(u64_opt(opts, "hedge-min-ms", 30)?),
         failure_threshold: u64_opt(opts, "failure-threshold", 3)? as u32,
@@ -621,15 +734,59 @@ fn cluster_route_cmd(opts: &Opts) -> Result<String, String> {
     };
     let router =
         crate::cluster::start(cfg.clone()).map_err(|e| format!("cannot start router: {e}"))?;
+    let ctrl = if with_ctrl {
+        let ctl = router.controller();
+        let on_config = {
+            let ctl = ctl.clone();
+            std::sync::Arc::new(move |topo: &crate::ctrl::ClusterTopology| {
+                if let Err(e) = ctl.update_backends(topo.epoch, &topo.backends) {
+                    eprintln!("config push not applied: {e}");
+                }
+            }) as crate::ctrl::ConfigCallback
+        };
+        let on_death = std::sync::Arc::new(move |addr: &str| {
+            ctl.trip_backend(addr);
+        }) as crate::ctrl::DeathCallback;
+        let ccfg = crate::ctrl::CtrlConfig {
+            on_config: Some(on_config),
+            on_death: Some(on_death),
+            ..ctrl_cfg_from(
+                opts,
+                crate::ctrl::Role::Router,
+                router.addr.to_string(),
+                router.recorder(),
+            )?
+        };
+        let seeds = ccfg.seeds.clone();
+        let node =
+            crate::ctrl::start(ccfg).map_err(|e| format!("cannot start control node: {e}"))?;
+        println!(
+            "control plane on http://{} — observer node {}, {}",
+            node.addr,
+            node.member_id(),
+            if seeds.is_empty() {
+                "bootstrapping a new cluster".to_string()
+            } else {
+                format!("joining via {}", seeds.join(", "))
+            }
+        );
+        Some(node)
+    } else {
+        None
+    };
     let flag = router.shutdown_flag();
     for sig in [signal_hook::consts::SIGTERM, signal_hook::consts::SIGINT] {
         signal_hook::flag::register(sig, std::sync::Arc::clone(&flag))
             .map_err(|e| format!("cannot install signal handler: {e}"))?;
     }
     println!(
-        "hre-cluster routing on http://{} over {} backends — {} vnodes, hedge floor {} ms",
+        "hre-cluster routing on http://{} over {} — {} vnodes, hedge floor {} ms",
         router.addr,
-        cfg.backends.len(),
+        if with_ctrl {
+            "control-plane-managed backends".to_string()
+        } else {
+            format!("{} backends", cfg.backends.len())
+        },
         cfg.vnodes,
         cfg.hedge_min.as_millis()
     );
@@ -639,6 +796,9 @@ fn cluster_route_cmd(opts: &Opts) -> Result<String, String> {
     );
     let _ = std::io::Write::flush(&mut std::io::stdout());
     let summary = router.run_until(&flag);
+    if let Some(node) = ctrl {
+        node.shutdown();
+    }
     Ok(format!("drained cleanly\n{summary}"))
 }
 
@@ -710,6 +870,97 @@ fn trace_cmd(opts: &Opts) -> Result<String, String> {
     }
 }
 
+/// Fetches and parses the `/ctrl` status document from a live node.
+fn fetch_ctrl_doc(opts: &Opts) -> Result<crate::svc::Json, String> {
+    let addr = opts
+        .get("addr")
+        .ok_or("--addr is required (a daemon, router, or control-plane address)")?;
+    let mut c = crate::svc::Client::connect(addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let resp = c.get("/ctrl").map_err(|e| format!("status fetch failed: {e}"))?;
+    if resp.status == 404 {
+        return Err(format!("{addr} runs no control plane (start it with --ctrl/--join)"));
+    }
+    if resp.status != 200 {
+        return Err(format!("status fetch failed: HTTP {}: {}", resp.status, resp.body_text()));
+    }
+    crate::svc::Json::parse(&resp.body_text()).map_err(|e| format!("malformed /ctrl document: {e}"))
+}
+
+/// `hre ctrl-status`: the control-plane view of a live node — identity,
+/// epoch, coordinator, active config, and the full membership table.
+fn ctrl_status_cmd(opts: &Opts) -> Result<String, String> {
+    let doc = fetch_ctrl_doc(opts)?;
+    let id = doc.get("id").and_then(crate::svc::Json::as_u64).ok_or("missing id")?;
+    let role = doc.get("role").and_then(crate::svc::Json::as_str).unwrap_or("?");
+    let epoch = doc.get("epoch").and_then(crate::svc::Json::as_u64).unwrap_or(0);
+    let mut out = format!("node {id} ({role}) — epoch {epoch}\n");
+    match doc.get("coordinator").and_then(crate::svc::Json::as_u64) {
+        Some(c) => {
+            let config_epoch =
+                doc.get("config_epoch").and_then(crate::svc::Json::as_u64).unwrap_or(0);
+            let me = if c == id { " (this node)" } else { "" };
+            let _ = writeln!(out, "coordinator: {c}{me} — config epoch {config_epoch}");
+            if let Some(backends) = doc.get("backends").and_then(crate::svc::Json::as_arr) {
+                let list: Vec<&str> =
+                    backends.iter().filter_map(crate::svc::Json::as_str).collect();
+                let _ = writeln!(out, "backends ({}): {}", list.len(), list.join(", "));
+            }
+        }
+        None => out.push_str("coordinator: none yet (no config accepted)\n"),
+    }
+    let members = doc.get("members").and_then(crate::svc::Json::as_arr).ok_or("missing members")?;
+    let mut t = crate::analysis::Table::new(["member", "role", "status", "serve", "ctrl", "inc"]);
+    for m in members {
+        t.row([
+            m.get("id").and_then(crate::svc::Json::as_u64).map_or("?".into(), |v| v.to_string()),
+            m.get("role").and_then(crate::svc::Json::as_str).unwrap_or("?").to_string(),
+            m.get("status").and_then(crate::svc::Json::as_str).unwrap_or("?").to_string(),
+            m.get("serve_addr").and_then(crate::svc::Json::as_str).unwrap_or("?").to_string(),
+            m.get("ctrl_addr").and_then(crate::svc::Json::as_str).unwrap_or("?").to_string(),
+            m.get("incarnation")
+                .and_then(crate::svc::Json::as_u64)
+                .map_or("?".into(), |v| v.to_string()),
+        ]);
+    }
+    out.push_str(&t.render());
+    Ok(out)
+}
+
+/// `hre ctrl-ring`: the labeled unidirectional election ring a node
+/// sees — live backends in ring order with their derived labels, the
+/// successor arrows, and the coordinator marked.
+fn ctrl_ring_cmd(opts: &Opts) -> Result<String, String> {
+    let doc = fetch_ctrl_doc(opts)?;
+    let order: Vec<u64> = doc
+        .get("ring")
+        .and_then(crate::svc::Json::as_arr)
+        .map(|a| a.iter().filter_map(crate::svc::Json::as_u64).collect())
+        .unwrap_or_default();
+    let labels: Vec<u64> = doc
+        .get("ring_labels")
+        .and_then(crate::svc::Json::as_arr)
+        .map(|a| a.iter().filter_map(crate::svc::Json::as_u64).collect())
+        .unwrap_or_default();
+    if order.is_empty() {
+        return Ok("no election ring: no live backends in the view\n".to_string());
+    }
+    let coordinator = doc.get("coordinator").and_then(crate::svc::Json::as_u64);
+    let mut out = format!(
+        "labeled unidirectional ring — {} live backend(s), messages flow p0 -> p1 -> ... -> p0\n",
+        order.len()
+    );
+    for (i, id) in order.iter().enumerate() {
+        let label = labels.get(i).copied().unwrap_or(0);
+        let mark = if Some(*id) == coordinator { "  <- coordinator" } else { "" };
+        let _ = writeln!(out, "  p{i}: node {id}  [label {label:#018x}]{mark}");
+    }
+    if coordinator.is_none() {
+        out.push_str("coordinator: none yet (election pending)\n");
+    }
+    Ok(out)
+}
+
 /// `hre bench-cluster`: closed-loop load against a router — an external
 /// one (`--addr`) or an in-process cluster spun up for the measurement.
 /// The workload cycles `--rings` distinct canonical rings of size `--n`,
@@ -734,6 +985,14 @@ fn bench_cluster_cmd(opts: &Opts) -> Result<String, String> {
         bases: bases?,
         rotate: !opts.contains_key("no-rotate"),
     };
+    if opts.contains_key("churn") {
+        if opts.contains_key("addr") {
+            return Err("--churn runs in-process only (it must own the members it kills); \
+                        drop --addr"
+                .into());
+        }
+        return bench_cluster_churn_cmd(opts, load, w, n);
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -782,6 +1041,192 @@ fn bench_cluster_cmd(opts: &Opts) -> Result<String, String> {
     }
     .map_err(|e| format!("load generation failed: {e}"))?;
     out.push_str(&report.pretty());
+    Ok(out)
+}
+
+/// Nearest-rank percentile over a sorted latency sample, in ms.
+fn percentile_ms(sorted: &[std::time::Duration], q: f64) -> f64 {
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx].as_secs_f64() * 1000.0
+}
+
+/// `hre bench-cluster --churn`: the self-hosting churn bench. Spins up
+/// an in-process cluster that elects its own coordinator (backends +
+/// control nodes + a dynamic router fed only by config pushes), then —
+/// while the load runs — repeatedly kills the current coordinator and
+/// rejoins a fresh member, measuring the kill-to-reconfigured latency
+/// of each re-election alongside the client-side request latency.
+fn bench_cluster_churn_cmd(
+    opts: &Opts,
+    load: crate::cluster::ClusterLoadOptions,
+    w: usize,
+    n: u64,
+) -> Result<String, String> {
+    use crate::ctrl::testbed::{agreed_config, wait_until};
+    use std::time::{Duration, Instant};
+
+    let nodes = u64_opt(opts, "nodes", 3)? as usize;
+    if nodes < 2 {
+        return Err("--churn needs --nodes >= 2 (a kill must leave members to re-elect)".into());
+    }
+    let kills = u64_opt(opts, "kills", 2)? as usize;
+    if kills == 0 {
+        return Err("--kills must be >= 1 in --churn mode".into());
+    }
+    let cache_cap = u64_opt(opts, "cache-cap", 1024)? as usize;
+
+    struct Member {
+        svc: ServerHandle,
+        ctrl: crate::ctrl::CtrlHandle,
+    }
+    let start_member = |seeds: Vec<String>| -> Result<Member, String> {
+        let svc = crate::svc::start(SvcConfig { cache_cap, ..SvcConfig::default() })
+            .map_err(|e| format!("cannot start backend: {e}"))?;
+        let ctrl = crate::ctrl::start(crate::ctrl::CtrlConfig {
+            serve_addr: svc.addr.to_string(),
+            seeds,
+            ..Default::default()
+        })
+        .map_err(|e| format!("cannot start control node: {e}"))?;
+        Ok(Member { svc, ctrl })
+    };
+
+    let first = start_member(Vec::new())?;
+    let seeds = vec![first.ctrl.addr.to_string()];
+    let mut members = vec![first];
+    for _ in 1..nodes {
+        members.push(start_member(seeds.clone())?);
+    }
+
+    let router = crate::cluster::start(crate::cluster::ClusterConfig {
+        dynamic: true,
+        ..Default::default()
+    })
+    .map_err(|e| format!("cannot start router: {e}"))?;
+    let ctl = router.controller();
+    let on_config = {
+        let ctl = ctl.clone();
+        std::sync::Arc::new(move |topo: &crate::ctrl::ClusterTopology| {
+            let _ = ctl.update_backends(topo.epoch, &topo.backends);
+        }) as crate::ctrl::ConfigCallback
+    };
+    let on_death = std::sync::Arc::new(move |addr: &str| {
+        ctl.trip_backend(addr);
+    }) as crate::ctrl::DeathCallback;
+    let router_ctrl = crate::ctrl::start(crate::ctrl::CtrlConfig {
+        role: crate::ctrl::Role::Router,
+        serve_addr: router.addr.to_string(),
+        seeds,
+        recorder: Some(router.recorder()),
+        on_config: Some(on_config),
+        on_death: Some(on_death),
+        ..Default::default()
+    })
+    .map_err(|e| format!("cannot start router control node: {e}"))?;
+
+    let boot = wait_until(Duration::from_secs(20), Duration::from_millis(20), || {
+        let handles: Vec<&crate::ctrl::CtrlHandle> =
+            members.iter().map(|m| &m.ctrl).chain([&router_ctrl]).collect();
+        let c = agreed_config(&handles)?;
+        (c.backends.len() == nodes && router.backends().len() == nodes).then_some(c)
+    })
+    .ok_or("the cluster did not elect a coordinator within 20 s")?;
+
+    let requests = load.requests;
+    let addr = router.addr.to_string();
+    let loader = std::thread::spawn(move || crate::cluster::run_cluster_load(&addr, &load));
+
+    let mut reelections: Vec<Duration> = Vec::new();
+    let mut rejoins: Vec<Duration> = Vec::new();
+    let mut epoch = boot.epoch;
+    for i in 0..kills {
+        // Trigger each kill on observed load progress, spaced across
+        // the run, so every re-election happens under live traffic.
+        let target = requests * (i as u64 + 1) / (kills as u64 + 1);
+        let armed = Instant::now();
+        while router.requests_seen() < target && armed.elapsed() < Duration::from_secs(60) {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        let before = wait_until(Duration::from_secs(10), Duration::from_millis(10), || {
+            let handles: Vec<&crate::ctrl::CtrlHandle> =
+                members.iter().map(|m| &m.ctrl).chain([&router_ctrl]).collect();
+            agreed_config(&handles)
+        })
+        .ok_or_else(|| format!("no agreed coordinator before kill {}", i + 1))?;
+        let vi = members
+            .iter()
+            .position(|m| m.ctrl.member_id() == before.coordinator)
+            .ok_or("the coordinator is not one of our members")?;
+        let victim = members.remove(vi);
+        let t0 = Instant::now();
+        victim.svc.shutdown();
+        victim.ctrl.shutdown();
+        let re = wait_until(Duration::from_secs(30), Duration::from_millis(5), || {
+            let handles: Vec<&crate::ctrl::CtrlHandle> =
+                members.iter().map(|m| &m.ctrl).chain([&router_ctrl]).collect();
+            let c = agreed_config(&handles)?;
+            (c.epoch > before.epoch
+                && c.backends.len() == members.len()
+                && router.epoch() == c.epoch)
+                .then_some(c)
+        })
+        .ok_or_else(|| format!("re-election {} did not complete within 30 s", i + 1))?;
+        reelections.push(t0.elapsed());
+        epoch = re.epoch;
+
+        // Rejoin a fresh member through a survivor, and wait for the
+        // coordinator to fold it into the next config.
+        let t1 = Instant::now();
+        members.push(start_member(vec![members[0].ctrl.addr.to_string()])?);
+        let rj = wait_until(Duration::from_secs(30), Duration::from_millis(5), || {
+            let handles: Vec<&crate::ctrl::CtrlHandle> =
+                members.iter().map(|m| &m.ctrl).chain([&router_ctrl]).collect();
+            let c = agreed_config(&handles)?;
+            (c.epoch > epoch && c.backends.len() == members.len() && router.epoch() == c.epoch)
+                .then_some(c)
+        })
+        .ok_or_else(|| format!("rejoin {} did not converge within 30 s", i + 1))?;
+        rejoins.push(t1.elapsed());
+        epoch = rj.epoch;
+    }
+
+    let report = loader
+        .join()
+        .map_err(|_| "load thread panicked".to_string())?
+        .map_err(|e| format!("load generation failed: {e}"))?;
+    router_ctrl.shutdown();
+    for m in members {
+        m.ctrl.shutdown();
+        m.svc.shutdown();
+    }
+    let summary = router.shutdown();
+
+    reelections.sort();
+    rejoins.sort();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "self-hosting churn: {nodes} nodes, {kills} coordinator kill(s) + rejoin(s) \
+         under {requests} requests ({w} rings of n={n})",
+    );
+    let _ = writeln!(out, "epochs: bootstrap {} -> final {}", boot.epoch, epoch);
+    let _ = writeln!(
+        out,
+        "re-election latency (kill -> every member and the router on the new epoch): \
+         p50 {:.0} ms, p95 {:.0} ms",
+        percentile_ms(&reelections, 0.50),
+        percentile_ms(&reelections, 0.95),
+    );
+    let _ = writeln!(
+        out,
+        "rejoin convergence (join -> folded into the pushed config): \
+         p50 {:.0} ms, p95 {:.0} ms",
+        percentile_ms(&rejoins, 0.50),
+        percentile_ms(&rejoins, 0.95),
+    );
+    let _ = write!(out, "{summary}");
+    out.push_str(&report.pretty());
+    let _ = writeln!(out, "client-visible failures across all kills: {}", report.failed);
     Ok(out)
 }
 
@@ -1262,6 +1707,86 @@ mod tests {
         let err = run_cli(&["trace", "--addr", &addr, "--id", "00000000000000aa"]).unwrap_err();
         assert!(err.contains("not found"), "{err}");
         handle.shutdown();
+    }
+
+    #[test]
+    fn parse_accepts_ctrl_and_churn_bare_flags() {
+        let (cmd, opts) = parse(&args(&["serve", "--ctrl", "--join", "127.0.0.1:9"])).unwrap();
+        assert_eq!(cmd, "serve");
+        assert_eq!(opts.get("ctrl").unwrap(), "true");
+        assert_eq!(opts.get("join").unwrap(), "127.0.0.1:9");
+        let (cmd, opts) = parse(&args(&["bench-cluster", "--churn", "--kills", "1"])).unwrap();
+        assert_eq!(cmd, "bench-cluster");
+        assert_eq!(opts.get("churn").unwrap(), "true");
+        assert_eq!(opts.get("kills").unwrap(), "1");
+    }
+
+    #[test]
+    fn ctrl_status_and_ring_render_a_live_node() {
+        let node = crate::ctrl::start(crate::ctrl::CtrlConfig {
+            serve_addr: "127.0.0.1:1".into(),
+            ..Default::default()
+        })
+        .expect("ctrl node");
+        // A single-member cluster self-coordinates; wait for it.
+        crate::ctrl::testbed::wait_until(
+            std::time::Duration::from_secs(10),
+            std::time::Duration::from_millis(20),
+            || node.config(),
+        )
+        .expect("self-coordination");
+        let addr = node.addr.to_string();
+
+        let status = run_cli(&["ctrl-status", "--addr", &addr]).unwrap();
+        assert!(status.contains("(backend)"), "{status}");
+        assert!(status.contains("(this node)"), "{status}");
+        assert!(status.contains("alive"), "{status}");
+        assert!(status.contains("127.0.0.1:1"), "{status}");
+
+        let ring = run_cli(&["ctrl-ring", "--addr", &addr]).unwrap();
+        assert!(ring.contains("p0: node"), "{ring}");
+        assert!(ring.contains("<- coordinator"), "{ring}");
+        node.shutdown();
+
+        assert!(run_cli(&["ctrl-status"]).unwrap_err().contains("--addr is required"));
+        let plain = crate::svc::start(SvcConfig::default()).expect("daemon");
+        let err = run_cli(&["ctrl-status", "--addr", &plain.addr.to_string()]).unwrap_err();
+        assert!(err.contains("runs no control plane"), "{err}");
+        plain.shutdown();
+    }
+
+    #[test]
+    fn bench_cluster_churn_measures_reelection_under_load() {
+        let out = run_cli(&[
+            "bench-cluster",
+            "--churn",
+            "--kills",
+            "1",
+            "--requests",
+            "150",
+            "--rings",
+            "6",
+            "--n",
+            "32",
+            "--connections",
+            "4",
+        ])
+        .unwrap();
+        assert!(out.contains("re-election latency"), "{out}");
+        assert!(out.contains("rejoin convergence"), "{out}");
+        assert!(out.contains("client-visible failures across all kills: 0"), "{out}");
+        // One kill and one rejoin each advance the epoch past bootstrap.
+        assert!(out.contains("epochs: bootstrap"), "{out}");
+    }
+
+    #[test]
+    fn bench_cluster_churn_rejects_bad_combinations() {
+        let err = run_cli(&["bench-cluster", "--churn", "--addr", "127.0.0.1:9"]).unwrap_err();
+        assert!(err.contains("in-process only"), "{err}");
+        let err = run_cli(&["bench-cluster", "--churn", "--nodes", "1"]).unwrap_err();
+        assert!(err.contains("--nodes >= 2"), "{err}");
+        let err = run_cli(&["bench-cluster", "--churn", "--kills", "0"]).unwrap_err();
+        assert!(err.contains("--kills"), "{err}");
     }
 
     #[test]

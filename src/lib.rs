@@ -50,6 +50,7 @@ pub use hre_analysis as analysis;
 pub use hre_baselines as baselines;
 pub use hre_cluster as cluster;
 pub use hre_core as core;
+pub use hre_ctrl as ctrl;
 pub use hre_net as net;
 pub use hre_ring as ring;
 pub use hre_runtime as runtime;
